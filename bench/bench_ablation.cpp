@@ -1,0 +1,198 @@
+// Ablations of the design choices DESIGN.md calls out, plus a small
+// extension study the paper leaves as future work.
+//
+//  A1. Reachability-test ablation: naive destination-IP test vs
+//      alias-aware vs quoted-packet-aware (how much coverage each
+//      refinement of §3.3 buys).
+//  A2. Slot-budget ablation: how RR-reachability would change if the IPv4
+//      option area allowed k = 1..9 slots — the "nine hop limit" is a
+//      wire-format accident, so measure its sensitivity.
+//  A3. Probing-rate ablation: aggregate response rate at 5..200 pps
+//      (generalizes Figure 4's two-point comparison).
+//  A4. Extension — hidden vs anonymous routers: combine traceroute and RR
+//      views of the same paths (Sherwood-style) to estimate how many hops
+//      each technique misses.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.h"
+#include "measure/midar.h"
+#include "measure/reclassify.h"
+#include "probe/prober.h"
+
+using namespace rr;
+
+int main() {
+  bench::heading("ablation studies");
+  auto config = bench::bench_config();
+  measure::Testbed testbed{config};
+  const auto campaign = measure::Campaign::run(testbed);
+  const auto responsive = campaign.rr_responsive_indices();
+  const double n_responsive =
+      std::max<std::size_t>(responsive.size(), 1);
+
+  // ---------------------------------------------- A1: reachability tests
+  bench::heading("A1: what the reachability test itself costs");
+  const std::size_t naive = campaign.rr_reachable_indices().size();
+  auto prober = testbed.make_prober(testbed.vps().front()->host, 200.0);
+  measure::MidarConfig midar_config;
+  if (std::getenv("RROPT_QUICK")) midar_config.max_addresses = 20000;
+  const auto aliases = measure::run_midar(
+      prober, measure::midar_candidate_addresses(campaign), midar_config);
+  const auto reclass = measure::reclassify(testbed, campaign, aliases);
+  bench::report("naive destination-IP-in-header test", "baseline",
+                util::with_commas(naive) + " (" +
+                    util::percent(naive / n_responsive) + " of responsive)");
+  bench::report("+ alias-aware (MIDAR)", "+1.9% of responsive",
+                "+" + util::with_commas(reclass.via_alias.size()));
+  bench::report("+ quoted-RR-aware (ping-RRudp)", "+1.5% of responsive",
+                "+" + util::with_commas(reclass.via_quoted.size()));
+
+  // ---------------------------------------------- A2: slot budget sweep
+  bench::heading("A2: RR-reachable fraction if the header had k slots");
+  for (int k = 1; k <= 9; ++k) {
+    std::size_t reachable_k = 0;
+    for (std::size_t d : responsive) {
+      bool within = false;
+      for (std::size_t v = 0; v < campaign.num_vps() && !within; ++v) {
+        const auto& obs = campaign.at(v, d);
+        within = obs.rr_reachable() && obs.dest_slot <= k;
+      }
+      if (within) ++reachable_k;
+    }
+    bench::report("k = " + std::to_string(k),
+                  k == 9 ? "66% (the paper's limit)" : "-",
+                  util::percent(reachable_k / n_responsive));
+  }
+
+  // ---------------------------------------------- A3: probing-rate sweep
+  bench::heading("A3: aggregate RR response rate vs probing rate");
+  {
+    util::Rng rng{1234};
+    auto sample = responsive;
+    rng.shuffle(sample);
+    if (sample.size() > 3000) sample.resize(3000);
+    for (const double pps : {5.0, 10.0, 20.0, 50.0, 100.0, 200.0}) {
+      testbed.network().reset();
+      std::uint64_t answered = 0, sent = 0;
+      // All VPs probe concurrently, as in the campaign.
+      std::vector<probe::Prober> probers;
+      for (std::size_t v = 0; v < campaign.num_vps(); ++v) {
+        probers.push_back(
+            testbed.make_prober(campaign.vps()[v]->host, pps));
+      }
+      for (std::size_t k = 0; k < sample.size(); ++k) {
+        for (std::size_t v = 0; v < probers.size(); ++v) {
+          const auto target =
+              campaign.topology()
+                  .host_at(campaign.destinations()[
+                      sample[(k + v * 17) % sample.size()]])
+                  .address;
+          ++sent;
+          const auto r = probers[v].probe(probe::ProbeSpec::ping_rr(target));
+          if (r.kind == probe::ResponseKind::kEchoReply &&
+              r.rr_option_in_reply) {
+            ++answered;
+          }
+        }
+      }
+      bench::report(
+          "rate " + util::fixed(pps, 0) + " pps", pps <= 20 ? "high" : "-",
+          util::percent(static_cast<double>(answered) /
+                        static_cast<double>(std::max<std::uint64_t>(sent, 1))));
+    }
+  }
+
+  // --------------------------- A5: Timestamp option vs Record Route
+  bench::heading("A5 (extension): the Timestamp option as an alternative");
+  {
+    util::Rng rng{555};
+    auto sample = responsive;
+    rng.shuffle(sample);
+    if (sample.size() > 2000) sample.resize(2000);
+    auto ts_prober = testbed.make_prober(testbed.vps().front()->host, 200.0);
+    std::uint64_t rr_ok = 0, ts_ok = 0, ts_overflowed = 0, ts_full_path = 0;
+    for (std::size_t d : sample) {
+      const auto target =
+          campaign.topology().host_at(campaign.destinations()[d]).address;
+      const auto rr = ts_prober.probe(probe::ProbeSpec::ping_rr(target));
+      if (rr.kind == probe::ResponseKind::kEchoReply &&
+          rr.rr_option_in_reply) {
+        ++rr_ok;
+      }
+      const auto ts = ts_prober.probe(probe::ProbeSpec::ping_ts(target));
+      if (ts.kind == probe::ResponseKind::kEchoReply &&
+          ts.ts_option_in_reply) {
+        ++ts_ok;
+        if (ts.ts_overflow > 0) ++ts_overflowed;
+        if (ts.ts_entries.size() < 4) ++ts_full_path;
+      }
+    }
+    const double denom = std::max<std::uint64_t>(sample.size(), 1);
+    bench::report("ping-RR answered (option copied)", "-",
+                  util::percent(rr_ok / denom));
+    bench::report("ping-TS answered (option copied)", "similar to RR",
+                  util::percent(ts_ok / denom));
+    bench::report("TS replies that overflowed (4-slot cap hit)",
+                  "most paths > 4 hops",
+                  util::percent(ts_ok ? double(ts_overflowed) / double(ts_ok)
+                                      : 0.0));
+    bench::report("TS replies covering the whole round trip", "few",
+                  util::percent(ts_ok ? double(ts_full_path) / double(ts_ok)
+                                      : 0.0));
+  }
+
+  // -------------------------------- A4: hidden vs anonymous router survey
+  bench::heading("A4 (extension): hops missed by traceroute vs by RR");
+  {
+    util::Rng rng{77};
+    auto reachable = campaign.rr_reachable_indices();
+    rng.shuffle(reachable);
+    if (reachable.size() > 400) reachable.resize(400);
+
+    std::uint64_t pairs = 0;
+    std::uint64_t rr_longer = 0, ttl_longer = 0, equal = 0;
+    std::uint64_t silent_hops = 0, total_ttl_hops = 0;
+    auto survey_prober =
+        testbed.make_prober(testbed.vps().front()->host, 200.0);
+    for (std::size_t d : reachable) {
+      const auto target =
+          campaign.topology().host_at(campaign.destinations()[d]).address;
+      const auto rr = survey_prober.probe(probe::ProbeSpec::ping_rr(target));
+      if (rr.kind != probe::ResponseKind::kEchoReply ||
+          !rr.rr_option_in_reply) {
+        continue;
+      }
+      const auto it =
+          std::find(rr.rr_recorded.begin(), rr.rr_recorded.end(), target);
+      if (it == rr.rr_recorded.end()) continue;
+      const auto rr_fwd_hops = (it - rr.rr_recorded.begin()) + 1;
+
+      const auto trace = survey_prober.traceroute(target, 30);
+      if (!trace.reached) continue;
+      ++pairs;
+      const int ttl_hops = trace.hop_count();
+      total_ttl_hops += static_cast<std::uint64_t>(ttl_hops);
+      for (const auto& hop : trace.hops) {
+        if (!hop.responded) ++silent_hops;
+      }
+      if (ttl_hops > rr_fwd_hops) {
+        ++ttl_longer;  // routers that decrement TTL but do not stamp
+      } else if (ttl_hops < rr_fwd_hops) {
+        ++rr_longer;   // hidden routers: stamp but do not decrement
+      } else {
+        ++equal;
+      }
+    }
+    bench::report("paths compared", "-", util::with_commas(pairs));
+    bench::report("traceroute sees more hops (non-stamping routers)", "-",
+                  util::with_commas(ttl_longer));
+    bench::report("RR sees more hops (hidden routers)", "-",
+                  util::with_commas(rr_longer));
+    bench::report("views agree exactly", "-", util::with_commas(equal));
+    bench::report("anonymous hops (traceroute '*')", "-",
+                  util::with_commas(silent_hops) + " of " +
+                      util::with_commas(total_ttl_hops));
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates the §3.5 AS-stamping audit: comparing traceroute-derived AS
+// paths with RR-derived AS paths for RR-reachable destinations. Paper: of
+// 7,185 ASes, 7,040 always appeared in RR when traced, 143 sometimes, and
+// only 2 never — no evidence of widespread forward-without-stamping
+// policy.
+#include <iostream>
+
+#include "bench/common.h"
+#include "measure/as_stamping.h"
+
+using namespace rr;
+
+int main() {
+  bench::heading("§3.5 AS stamping audit (traceroute vs ping-RR AS paths)");
+  auto config = bench::bench_config();
+  measure::Testbed testbed{config};
+  const auto campaign = measure::Campaign::run(testbed);
+
+  measure::AsStampingConfig study_config;
+  study_config.max_dests_per_vp = std::getenv("RROPT_QUICK") ? 100 : 1000;
+  const auto result =
+      measure::audit_as_stamping(testbed, campaign, study_config);
+
+  std::printf("pairs compared: %s, distinct transit ASes observed: %s\n",
+              util::with_commas(result.pairs_compared).c_str(),
+              util::with_commas(result.total_ases()).c_str());
+
+  const double total = std::max<std::size_t>(result.total_ases(), 1);
+  bench::heading("headline audit (§3.5)");
+  bench::report("ASes always in RR when in traceroute",
+                "7,040 of 7,185 (98%)",
+                util::with_commas(result.always()) + " (" +
+                    util::percent(result.always() / total) + ")");
+  bench::report("ASes sometimes missing from RR", "143 (2.0%)",
+                util::with_commas(result.sometimes()) + " (" +
+                    util::percent(result.sometimes() / total, 1) + ")");
+  bench::report("ASes never in RR", "2 (0.03%)",
+                util::with_commas(result.never()) + " (" +
+                    util::percent(result.never() / total, 2) + ")");
+  return 0;
+}

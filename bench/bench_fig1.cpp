@@ -1,0 +1,68 @@
+// Regenerates Figure 1: CDF of RR hops from the closest vantage point (for
+// several VP subsets) to RR-responsive destinations, plus the §3.3 greedy
+// site-selection numbers (73% with 1 site ... 95% with 10).
+#include <iostream>
+
+#include "analysis/series.h"
+#include "bench/common.h"
+#include "measure/figures.h"
+#include "measure/reachability.h"
+
+using namespace rr;
+
+int main() {
+  bench::heading("Figure 1: RR hops from closest vantage point");
+  auto config = bench::bench_config();
+  measure::Testbed testbed{config};
+  const auto campaign = measure::Campaign::run(testbed);
+
+  const auto responsive = campaign.rr_responsive_indices();
+  std::vector<std::size_t> all_vps(campaign.num_vps());
+  for (std::size_t v = 0; v < all_vps.size(); ++v) all_vps[v] = v;
+  const auto mlab =
+      measure::vp_indices_of_platform(campaign, topo::Platform::kMLab);
+  const auto plab =
+      measure::vp_indices_of_platform(campaign, topo::Platform::kPlanetLab);
+
+  // Greedy M-Lab site selection over RR-reachable destinations.
+  const auto reachable = campaign.rr_reachable_indices();
+  const auto greedy =
+      measure::greedy_vp_selection(campaign, mlab, reachable, 10);
+
+  const auto figure = measure::figure1(campaign, greedy);
+  figure.print(std::cout);
+  figure.write_csv("fig1.csv");
+
+  bench::heading("headline reachability (§3.3)");
+  const double within9 =
+      measure::fraction_within(campaign, all_vps, responsive, 9);
+  const double within8 =
+      measure::fraction_within(campaign, all_vps, responsive, 8);
+  bench::report("RR-responsive within 9 hops of some VP (RR-reachable)",
+                "66%", util::percent(within9));
+  bench::report("RR-responsive within 8 hops (reverse-path measurable)",
+                "60%", util::percent(within8));
+
+  // Platform comparison, measured as a fraction of the RR-reachable union.
+  std::size_t mlab_cover = 0, plab_cover = 0;
+  for (std::size_t d : reachable) {
+    if (campaign.min_rr_distance(d, mlab) > 0) ++mlab_cover;
+    if (campaign.min_rr_distance(d, plab) > 0) ++plab_cover;
+  }
+  const double denom = reachable.empty() ? 1.0 : double(reachable.size());
+  bench::report("fraction of RR-reachable covered by M-Lab alone", "99%",
+                util::percent(mlab_cover / denom));
+  bench::report("fraction of RR-reachable covered by PlanetLab alone",
+                "72%", util::percent(plab_cover / denom));
+
+  bench::heading("greedy M-Lab site selection (§3.3)");
+  const char* paper_cov[] = {"73%", "82%", "86%", "", "91%",
+                             "",    "",    "",    "", "95%"};
+  for (std::size_t i = 0; i < greedy.coverage.size(); ++i) {
+    bench::report("coverage of RR-reachable with " + std::to_string(i + 1) +
+                      " site(s)",
+                  paper_cov[i][0] ? paper_cov[i] : "-",
+                  util::percent(greedy.coverage[i]));
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates Figure 2: RR hops from the closest M-Lab/PlanetLab VP to
+// RR-responsive destinations, 2011 versus 2016, for all VPs and for the
+// VPs common to both years. The paper reports RR-reachable fractions of
+// 0.12 (2011) vs 0.66 (2016).
+#include <iostream>
+
+#include "analysis/series.h"
+#include "bench/common.h"
+#include "measure/figures.h"
+#include "measure/reachability.h"
+
+using namespace rr;
+
+namespace {
+
+struct EpochData {
+  measure::Campaign campaign;
+  std::vector<std::size_t> all_vps;
+  std::vector<std::size_t> common_vps;
+  std::vector<std::size_t> responsive;
+};
+
+EpochData run_epoch(measure::Testbed& testbed) {
+  EpochData data{measure::Campaign::run(testbed), {}, {}, {}};
+  for (std::size_t v = 0; v < data.campaign.num_vps(); ++v) {
+    data.all_vps.push_back(v);
+    const auto& vp = *data.campaign.vps()[v];
+    if (vp.exists_in_2011 && vp.exists_in_2016) data.common_vps.push_back(v);
+  }
+  data.responsive = data.campaign.rr_responsive_indices();
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 2: reachability, 2011 vs 2016");
+
+  // One world, two epochs: identical devices and policies, different
+  // connectivity and VP availability.
+  auto config16 = bench::bench_config(topo::Epoch::k2016);
+  measure::Testbed testbed16{config16};
+  auto config11 = bench::bench_config(topo::Epoch::k2011);
+  measure::Testbed testbed11{testbed16.topology_ptr(),
+                             testbed16.behaviors_ptr(), config11};
+
+  EpochData d2016 = run_epoch(testbed16);
+  EpochData d2011 = run_epoch(testbed11);
+
+  const auto figure = measure::figure2(d2016.campaign, d2011.campaign);
+  figure.print(std::cout);
+  figure.write_csv("fig2.csv");
+
+  bench::heading("headline change over time (§3.4)");
+  const double frac16 = measure::fraction_within(
+      d2016.campaign, d2016.all_vps, d2016.responsive, 9);
+  const double frac11 = measure::fraction_within(
+      d2011.campaign, d2011.all_vps, d2011.responsive, 9);
+  const double frac16c = measure::fraction_within(
+      d2016.campaign, d2016.common_vps, d2016.responsive, 9);
+  const double frac11c = measure::fraction_within(
+      d2011.campaign, d2011.common_vps, d2011.responsive, 9);
+  bench::report("RR-reachable fraction, 2016 all VPs", "0.66",
+                util::fixed(frac16, 2));
+  bench::report("RR-reachable fraction, 2011 all VPs", "0.12",
+                util::fixed(frac11, 2));
+  bench::report("RR-reachable fraction, 2016 common VPs",
+                "increase vs 2011", util::fixed(frac16c, 2));
+  bench::report("RR-reachable fraction, 2011 common VPs", "(lower)",
+                util::fixed(frac11c, 2));
+  bench::report("common-VP improvement 2011 -> 2016", "present",
+                frac16c > frac11c ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks for the toolkit's primitives (google-benchmark): packet
+// serialization/parsing, in-place RR stamping, LPM lookups, BGP route-tree
+// computation, and full simulated probes. Not a paper artifact, but the
+// numbers justify the harness's ability to replay census-scale studies.
+#include <benchmark/benchmark.h>
+
+#include "measure/testbed.h"
+#include "netbase/lpm_trie.h"
+#include "packet/datagram.h"
+#include "packet/mutate.h"
+#include "probe/prober.h"
+#include "routing/bgp.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rr;
+
+void BM_PingSerialize(benchmark::State& state) {
+  const auto ping = pkt::make_ping(net::IPv4Address(1, 2, 3, 4),
+                                   net::IPv4Address(5, 6, 7, 8), 9, 1, 64, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ping.serialize());
+  }
+}
+BENCHMARK(BM_PingSerialize);
+
+void BM_DatagramParse(benchmark::State& state) {
+  const auto bytes = *pkt::make_ping(net::IPv4Address(1, 2, 3, 4),
+                                     net::IPv4Address(5, 6, 7, 8), 9, 1, 64,
+                                     9).serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt::Datagram::parse(bytes));
+  }
+}
+BENCHMARK(BM_DatagramParse);
+
+void BM_RrStampAndTtl(benchmark::State& state) {
+  const auto original = *pkt::make_ping(net::IPv4Address(1, 2, 3, 4),
+                                        net::IPv4Address(5, 6, 7, 8), 9, 1,
+                                        64, 9).serialize();
+  std::vector<std::uint8_t> bytes;
+  for (auto _ : state) {
+    bytes = original;
+    pkt::decrement_ttl(bytes);
+    pkt::rr_stamp(bytes, net::IPv4Address(10, 0, 0, 1));
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_RrStampAndTtl);
+
+void BM_LpmLookup(benchmark::State& state) {
+  net::LpmTrie<std::uint32_t> trie;
+  util::Rng rng{1};
+  for (std::uint32_t i = 0; i < 50000; ++i) {
+    trie.insert(net::Prefix{net::IPv4Address{static_cast<std::uint32_t>(
+                    rng())}, 24}, i);
+  }
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trie.lookup(net::IPv4Address{static_cast<std::uint32_t>(
+            util::mix64(++x))}));
+  }
+}
+BENCHMARK(BM_LpmLookup);
+
+std::shared_ptr<const topo::Topology> bench_topology() {
+  static auto topo = [] {
+    topo::TopologyParams params = topo::TopologyParams::paper_scale();
+    params.num_ases = 1000;
+    params.colo_fraction = 0.25;
+    params.planetlab_sites_2011 = 60;
+    return topo::Generator{params}.generate();
+  }();
+  return topo;
+}
+
+void BM_BgpRouteTree(benchmark::State& state) {
+  route::BgpEngine engine{bench_topology(), topo::Epoch::k2016};
+  topo::AsId dest = 0;
+  const auto n = bench_topology()->ases().size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute_tree(dest));
+    dest = static_cast<topo::AsId>((dest + 17) % n);
+  }
+}
+BENCHMARK(BM_BgpRouteTree)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatedPingRr(benchmark::State& state) {
+  static auto testbed = [] {
+    measure::TestbedConfig config;
+    config.topo_params = topo::TopologyParams::paper_scale();
+    config.topo_params.num_ases = 1000;
+    config.topo_params.colo_fraction = 0.25;
+    config.topo_params.planetlab_sites_2011 = 60;
+    return new measure::Testbed{config};
+  }();
+  auto prober = testbed->make_prober(testbed->vps().front()->host, 1e9);
+  const auto dests = testbed->topology().destinations();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto target =
+        testbed->topology().host_at(dests[i % dests.size()]).address;
+    benchmark::DoNotOptimize(
+        prober.probe(probe::ProbeSpec::ping_rr(target)));
+    ++i;
+  }
+}
+BENCHMARK(BM_SimulatedPingRr)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

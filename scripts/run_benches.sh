@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact and records the output.
+#
+#   scripts/run_benches.sh [quick]
+#
+# "quick" shrinks the world to a smoke-test scale (~800 ASes).
+set -u
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "quick" ]]; then
+  export RROPT_QUICK=1
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

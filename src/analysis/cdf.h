@@ -1,0 +1,85 @@
+// Empirical CDFs over numeric samples — the workhorse of every figure in
+// the paper (Figures 1, 2, 3 are CDFs; Figure 5 is a response-rate curve
+// derived from grouped samples).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rr::analysis {
+
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+    std::sort(samples_.begin(), samples_.end());
+  }
+
+  void add(double sample) {
+    samples_.insert(
+        std::lower_bound(samples_.begin(), samples_.end(), sample), sample);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x, in [0, 1]. 0 for an empty CDF.
+  [[nodiscard]] double fraction_at_or_below(double x) const noexcept {
+    if (samples_.empty()) return 0.0;
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  /// Smallest sample value v such that fraction_at_or_below(v) >= q.
+  /// Requires a non-empty CDF and q in [0, 1].
+  [[nodiscard]] double value_at_quantile(double q) const noexcept {
+    if (samples_.empty()) return 0.0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const std::size_t index = std::min(
+        samples_.size() - 1,
+        static_cast<std::size_t>(clamped *
+                                 static_cast<double>(samples_.size())));
+    return samples_[index];
+  }
+
+  [[nodiscard]] double min() const noexcept {
+    return samples_.empty() ? 0.0 : samples_.front();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return samples_.empty() ? 0.0 : samples_.back();
+  }
+  [[nodiscard]] double mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] double median() const noexcept {
+    return value_at_quantile(0.5);
+  }
+
+  /// Evaluates the CDF at the integer grid [lo, hi] — the rendering used
+  /// for hop-count figures.
+  [[nodiscard]] std::vector<std::pair<int, double>> integer_points(
+      int lo, int hi) const {
+    std::vector<std::pair<int, double>> out;
+    out.reserve(static_cast<std::size_t>(hi - lo + 1));
+    for (int x = lo; x <= hi; ++x) {
+      out.emplace_back(x, fraction_at_or_below(x));
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace rr::analysis

@@ -1,0 +1,51 @@
+#include "analysis/series.h"
+
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace rr::analysis {
+
+void FigureData::print(std::ostream& out) const {
+  out << "# figure: " << title_ << "\n";
+  out << "# x: " << x_label_ << ", y: " << y_label_ << "\n";
+  for (const auto& series : series_) {
+    out << "# series: " << series.label << "\n";
+    for (const auto& [x, y] : series.points) {
+      out << util::fixed(x, 3) << " " << util::fixed(y, 4) << "\n";
+    }
+    out << "\n";
+  }
+}
+
+bool FigureData::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  // Collect the union of x values.
+  std::map<double, std::vector<double>> rows;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    for (const auto& [x, y] : series_[s].points) {
+      auto& row = rows[x];
+      row.resize(series_.size(), std::numeric_limits<double>::quiet_NaN());
+      row[s] = y;
+    }
+  }
+  out << "x";
+  for (const auto& series : series_) out << "," << series.label;
+  out << "\n";
+  for (auto& [x, row] : rows) {
+    row.resize(series_.size(), std::numeric_limits<double>::quiet_NaN());
+    out << util::fixed(x, 4);
+    for (double y : row) {
+      out << ",";
+      if (y == y) out << util::fixed(y, 5);  // NaN-safe
+    }
+    out << "\n";
+  }
+  return true;
+}
+
+}  // namespace rr::analysis

@@ -1,0 +1,52 @@
+// Labeled (x, y) series with text rendering — the bench binaries print
+// every figure as one or more named series so the paper's plots can be
+// regenerated with any plotting tool (a gnuplot-compatible block format).
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rr::analysis {
+
+struct Series {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+
+  void add(double x, double y) { points.emplace_back(x, y); }
+};
+
+class FigureData {
+ public:
+  FigureData(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  /// Adds a series and returns a STABLE reference (the container is a
+  /// deque precisely so that references survive later add_series calls).
+  Series& add_series(std::string label) {
+    series_.push_back(Series{std::move(label), {}});
+    return series_.back();
+  }
+
+  /// Renders all series as "# series: <label>" blocks of "x y" lines.
+  void print(std::ostream& out) const;
+
+  /// Writes a CSV with one x column and one column per series (points are
+  /// aligned by x across series; missing values are blank).
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] const std::deque<Series>& series() const noexcept {
+    return series_;
+  }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::deque<Series> series_;
+};
+
+}  // namespace rr::analysis

@@ -1,0 +1,51 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace rr::analysis {
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << (c == 0 ? "" : "  ")
+          << (c == 0 ? util::pad_right(cell, widths[c])
+                     : util::pad_left(cell, widths[c]));
+    }
+    out << "\n";
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+std::string count_cell(std::uint64_t count, double fraction) {
+  return util::with_commas(count) + " (" + util::percent(fraction) + ")";
+}
+
+}  // namespace rr::analysis

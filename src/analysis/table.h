@@ -1,0 +1,33 @@
+// Fixed-width text tables, used by the bench binaries to print rows in the
+// same layout the paper's tables use.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rr::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with column auto-sizing; header separated by a rule.
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "count (pct%)" cell in the style of Table 1.
+[[nodiscard]] std::string count_cell(std::uint64_t count, double fraction);
+
+}  // namespace rr::analysis

@@ -1,0 +1,149 @@
+#include "data/jsonl.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace rr::data {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject::JsonObject(std::ostream& out) : out_(&out) { *out_ << '{'; }
+
+JsonObject::~JsonObject() { close(); }
+
+void JsonObject::close() {
+  if (closed_) return;
+  closed_ = true;
+  *out_ << '}';
+}
+
+void JsonObject::key_prefix(std::string_view key) {
+  if (!first_) *out_ << ',';
+  first_ = false;
+  *out_ << '"' << json_escape(key) << "\":";
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  *out_ << '"' << json_escape(value) << '"';
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, const char* value) {
+  return field(key, std::string_view{value});
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  *out_ << value;
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  *out_ << value;
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, int value) {
+  return field(key, static_cast<std::int64_t>(value));
+}
+
+JsonObject& JsonObject::field(std::string_view key, double value) {
+  key_prefix(key);
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  *out_ << buffer;
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, bool value) {
+  key_prefix(key);
+  *out_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::field(
+    std::string_view key, const std::vector<net::IPv4Address>& addresses) {
+  key_prefix(key);
+  *out_ << '[';
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << '"' << addresses[i].to_string() << '"';
+  }
+  *out_ << ']';
+  return *this;
+}
+
+void write_probe_line(std::ostream& out, const probe::ProbeResult& result,
+                      std::string_view vantage_point) {
+  {
+    JsonObject object(out);
+    if (!vantage_point.empty()) object.field("vp", vantage_point);
+    object.field("type", to_string(result.type));
+    object.field("dst", result.target.to_string());
+    object.field("result", to_string(result.kind));
+    if (result.responded()) {
+      object.field("from", result.responder.to_string());
+      object.field("rtt_ms", result.rtt * 1e3);
+      object.field("ipid", std::uint64_t{result.reply_ip_id});
+    }
+    if (result.rr_option_in_reply) {
+      object.field("rr", result.rr_recorded);
+      object.field("rr_free", result.rr_free_slots);
+    }
+    if (result.quoted_rr_present) {
+      object.field("quoted_rr", result.quoted_rr);
+      object.field("quoted_rr_free", result.quoted_rr_free_slots);
+    }
+    object.field("tx", result.send_time);
+  }
+  out << '\n';
+}
+
+void write_probe_log(std::ostream& out,
+                     std::span<const probe::ProbeResult> results,
+                     std::string_view vantage_point) {
+  for (const auto& result : results) {
+    write_probe_line(out, result, vantage_point);
+  }
+}
+
+void write_figure_jsonl(std::ostream& out,
+                        const analysis::FigureData& figure) {
+  for (const auto& series : figure.series()) {
+    for (const auto& [x, y] : series.points) {
+      {
+        JsonObject object(out);
+        object.field("series", series.label);
+        object.field("x", x);
+        object.field("y", y);
+      }
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace rr::data

@@ -1,0 +1,69 @@
+// JSON-lines export for probe logs and figure data.
+//
+// scamper publishes warts / JSON dumps of raw probe results; this is the
+// toolkit's equivalent interchange format: one self-describing JSON object
+// per line, so standard tooling (jq, pandas, ...) can consume study output
+// without linking against the library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/series.h"
+#include "probe/types.h"
+
+namespace rr::data {
+
+/// Minimal streaming JSON object writer with correct string escaping.
+/// Usage: JsonObject o(out); o.field("k", 1); o.field("s", "x"); o.close();
+class JsonObject {
+ public:
+  explicit JsonObject(std::ostream& out);
+  JsonObject(const JsonObject&) = delete;
+  JsonObject& operator=(const JsonObject&) = delete;
+  ~JsonObject();
+
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, int value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, bool value);
+  /// Array of dotted-quad address strings.
+  JsonObject& field(std::string_view key,
+                    const std::vector<net::IPv4Address>& addresses);
+
+  /// Emits the closing brace (idempotent; also run by the destructor).
+  void close();
+
+ private:
+  void key_prefix(std::string_view key);
+
+  std::ostream* out_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+/// Escapes a string for inclusion in JSON (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Writes one probe result as a single JSON line.
+void write_probe_line(std::ostream& out, const probe::ProbeResult& result,
+                      std::string_view vantage_point = {});
+
+/// Writes a whole probe log (one line per result).
+void write_probe_log(std::ostream& out,
+                     std::span<const probe::ProbeResult> results,
+                     std::string_view vantage_point = {});
+
+/// Writes figure data as JSON lines: one line per series point, tagged
+/// with the series label.
+void write_figure_jsonl(std::ostream& out,
+                        const analysis::FigureData& figure);
+
+}  // namespace rr::data

@@ -1,0 +1,164 @@
+#include "measure/campaign.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace rr::measure {
+
+namespace {
+
+void merge_recorded(std::vector<net::IPv4Address>& into,
+                    const std::vector<net::IPv4Address>& addresses) {
+  for (const auto& addr : addresses) {
+    const auto it = std::lower_bound(into.begin(), into.end(), addr);
+    if (it == into.end() || *it != addr) into.insert(it, addr);
+  }
+}
+
+}  // namespace
+
+Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
+  Campaign campaign;
+  campaign.topology_ = testbed.topology_ptr();
+  campaign.vps_ = testbed.vps();
+
+  const auto all_dests = testbed.topology().destinations();
+  const int stride = std::max(1, config.destination_stride);
+  for (std::size_t i = 0; i < all_dests.size();
+       i += static_cast<std::size_t>(stride)) {
+    campaign.dests_.push_back(all_dests[i]);
+  }
+  const std::size_t n_dests = campaign.dests_.size();
+  const std::size_t n_vps = campaign.vps_.size();
+
+  campaign.ping_responsive_.assign(n_dests, 0);
+  campaign.observations_.assign(n_vps * n_dests, RrObservation{});
+  campaign.recorded_union_.assign(n_dests, {});
+
+  testbed.network().reset();
+
+  // ------------------------------------------------- plain-ping study
+  // Three pings per destination from the probe host (USC in the paper).
+  {
+    auto prober = testbed.make_prober(testbed.topology().probe_host(),
+                                      config.vp_pps);
+    for (std::size_t d = 0; d < n_dests; ++d) {
+      const auto target =
+          testbed.topology().host_at(campaign.dests_[d]).address;
+      for (int attempt = 0; attempt < config.ping_attempts; ++attempt) {
+        const auto result = prober.probe(probe::ProbeSpec::ping(target));
+        if (result.kind == probe::ResponseKind::kEchoReply) {
+          campaign.ping_responsive_[d] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------- ping-RR study
+  // Every VP probes every destination once, in its own random order; all
+  // VPs run concurrently on the shared virtual timeline, so shared rate
+  // limiters see the aggregate load.
+  util::Rng order_rng{config.seed};
+  std::vector<probe::Prober> probers;
+  probers.reserve(n_vps);
+  std::vector<std::vector<std::uint32_t>> orders(n_vps);
+  for (std::size_t v = 0; v < n_vps; ++v) {
+    probers.push_back(
+        testbed.make_prober(campaign.vps_[v]->host, config.vp_pps));
+    auto& order = orders[v];
+    order.resize(n_dests);
+    for (std::size_t d = 0; d < n_dests; ++d) {
+      order[d] = static_cast<std::uint32_t>(d);
+    }
+    order_rng.shuffle(order);
+  }
+
+  for (std::size_t k = 0; k < n_dests; ++k) {
+    for (std::size_t v = 0; v < n_vps; ++v) {
+      const std::size_t d = orders[v][k];
+      const auto target =
+          testbed.topology().host_at(campaign.dests_[d]).address;
+      const auto result =
+          probers[v].probe(probe::ProbeSpec::ping_rr(target));
+
+      RrObservation& obs = campaign.observations_[v * n_dests + d];
+      if (!result.responded()) continue;
+      obs.flags |= RrObservation::kResponded;
+      if (result.kind == probe::ResponseKind::kEchoReply) {
+        obs.flags |= RrObservation::kEchoReply;
+      }
+      if (result.rr_option_in_reply) {
+        obs.flags |= RrObservation::kOptionPresent;
+        obs.stamp_count =
+            static_cast<std::uint8_t>(result.rr_recorded.size());
+        obs.free_slots = static_cast<std::uint8_t>(result.rr_free_slots);
+        const auto it = std::find(result.rr_recorded.begin(),
+                                  result.rr_recorded.end(), target);
+        if (it != result.rr_recorded.end()) {
+          obs.dest_slot = static_cast<std::uint8_t>(
+              (it - result.rr_recorded.begin()) + 1);
+        }
+        merge_recorded(campaign.recorded_union_[d], result.rr_recorded);
+      }
+    }
+  }
+
+  util::log_info() << "campaign complete: " << n_vps << " VPs x " << n_dests
+                   << " destinations";
+  return campaign;
+}
+
+bool Campaign::rr_responsive(std::size_t dest_index) const noexcept {
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    if (at(v, dest_index).rr_responsive()) return true;
+  }
+  return false;
+}
+
+int Campaign::responding_vp_count(std::size_t dest_index) const noexcept {
+  int count = 0;
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    if (at(v, dest_index).rr_responsive()) ++count;
+  }
+  return count;
+}
+
+int Campaign::min_rr_distance(
+    std::size_t dest_index,
+    const std::vector<std::size_t>& vp_subset) const noexcept {
+  int best = 0;
+  for (std::size_t v : vp_subset) {
+    const RrObservation& obs = at(v, dest_index);
+    if (!obs.rr_reachable()) continue;
+    if (best == 0 || obs.dest_slot < best) best = obs.dest_slot;
+  }
+  return best;
+}
+
+bool Campaign::rr_reachable(std::size_t dest_index) const noexcept {
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    if (at(v, dest_index).rr_reachable()) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> Campaign::rr_responsive_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t d = 0; d < dests_.size(); ++d) {
+    if (rr_responsive(d)) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Campaign::rr_reachable_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t d = 0; d < dests_.size(); ++d) {
+    if (rr_reachable(d)) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace rr::measure

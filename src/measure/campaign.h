@@ -1,0 +1,117 @@
+// The base measurement campaign of §3.1:
+//
+//  * three plain pings to every destination from the single probe host,
+//  * one ping-RR to every destination from every vantage point, probed in
+//    a per-VP random order at a paced rate, with all VPs running
+//    concurrently on the shared virtual timeline.
+//
+// The result is the dataset every later analysis consumes: per-destination
+// ping responsiveness, a compact per-(VP, destination) Record Route
+// observation, and the per-destination union of addresses ever seen in RR
+// response headers (the input to alias resolution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "measure/testbed.h"
+
+namespace rr::measure {
+
+/// Compact per-(VP, destination) record of one ping-RR exchange.
+struct RrObservation {
+  static constexpr std::uint8_t kResponded = 1 << 0;     // any reply came back
+  static constexpr std::uint8_t kEchoReply = 1 << 1;     // reply was an echo
+  static constexpr std::uint8_t kOptionPresent = 1 << 2;  // reply carried RR
+
+  std::uint8_t flags = 0;
+  std::uint8_t stamp_count = 0;  // addresses recorded in the reply's option
+  std::uint8_t dest_slot = 0;    // 1-based slot holding the probed address
+  std::uint8_t free_slots = 0;   // empty slots remaining in the reply
+
+  [[nodiscard]] bool responded() const noexcept {
+    return flags & kResponded;
+  }
+  /// The paper's RR-responsive test: an Echo Reply with the option copied.
+  [[nodiscard]] bool rr_responsive() const noexcept {
+    return (flags & kEchoReply) && (flags & kOptionPresent);
+  }
+  /// The paper's direct RR-reachable test: the probed address appears in
+  /// the response header. dest_slot is then the RR hop distance.
+  [[nodiscard]] bool rr_reachable() const noexcept { return dest_slot > 0; }
+
+  [[nodiscard]] bool operator==(const RrObservation&) const = default;
+};
+
+struct CampaignConfig {
+  double vp_pps = 20.0;      // §3.1: 20 probes/sec/machine
+  int ping_attempts = 3;     // plain pings per destination
+  std::uint64_t seed = 20161001;
+  /// Probe only every k-th destination (1 = all); sub-sampling knob for
+  /// fast iteration at large scales.
+  int destination_stride = 1;
+};
+
+class Campaign {
+ public:
+  /// Runs the full campaign on a testbed.
+  static Campaign run(Testbed& testbed, const CampaignConfig& config = {});
+
+  // ---------------------------------------------------------------- shape
+  [[nodiscard]] std::size_t num_vps() const noexcept { return vps_.size(); }
+  [[nodiscard]] std::size_t num_destinations() const noexcept {
+    return dests_.size();
+  }
+  [[nodiscard]] const std::vector<const topo::VantagePoint*>& vps()
+      const noexcept {
+    return vps_;
+  }
+  [[nodiscard]] const std::vector<topo::HostId>& destinations()
+      const noexcept {
+    return dests_;
+  }
+  [[nodiscard]] const topo::Topology& topology() const noexcept {
+    return *topology_;
+  }
+
+  // ----------------------------------------------------------------- data
+  [[nodiscard]] bool ping_responsive(std::size_t dest_index) const noexcept {
+    return ping_responsive_[dest_index] != 0;
+  }
+  [[nodiscard]] const RrObservation& at(std::size_t vp_index,
+                                        std::size_t dest_index)
+      const noexcept {
+    return observations_[vp_index * dests_.size() + dest_index];
+  }
+  /// Union of addresses ever recorded in RR responses for a destination.
+  [[nodiscard]] const std::vector<net::IPv4Address>& recorded_union(
+      std::size_t dest_index) const noexcept {
+    return recorded_union_[dest_index];
+  }
+
+  // ------------------------------------------------------- derived basics
+  /// Destination answered at least one VP's ping-RR with the option copied.
+  [[nodiscard]] bool rr_responsive(std::size_t dest_index) const noexcept;
+  /// Number of VPs whose ping-RR the destination answered (option copied).
+  [[nodiscard]] int responding_vp_count(std::size_t dest_index) const noexcept;
+  /// Minimum RR hop distance over a VP subset; 0 when unreachable from all.
+  [[nodiscard]] int min_rr_distance(
+      std::size_t dest_index,
+      const std::vector<std::size_t>& vp_subset) const noexcept;
+  /// Direct RR-reachability (the probed address appeared for some VP).
+  [[nodiscard]] bool rr_reachable(std::size_t dest_index) const noexcept;
+
+  /// Destination indices fulfilling a basic predicate.
+  [[nodiscard]] std::vector<std::size_t> rr_responsive_indices() const;
+  [[nodiscard]] std::vector<std::size_t> rr_reachable_indices() const;
+
+ private:
+  std::shared_ptr<const topo::Topology> topology_;
+  std::vector<const topo::VantagePoint*> vps_;
+  std::vector<topo::HostId> dests_;
+  std::vector<std::uint8_t> ping_responsive_;
+  std::vector<RrObservation> observations_;
+  std::vector<std::vector<net::IPv4Address>> recorded_union_;
+};
+
+}  // namespace rr::measure

@@ -1,0 +1,68 @@
+#include "measure/classify.h"
+
+#include <unordered_map>
+
+namespace rr::measure {
+
+ResponseTable build_response_table(const Campaign& campaign) {
+  ResponseTable table;
+  const auto& topology = campaign.topology();
+
+  struct AsAgg {
+    topo::AsType type = topo::AsType::kUnknown;
+    bool ping = false;
+    bool rr = false;
+  };
+  std::unordered_map<topo::AsId, AsAgg> per_as;
+
+  for (std::size_t d = 0; d < campaign.num_destinations(); ++d) {
+    const topo::Host& host =
+        topology.host_at(campaign.destinations()[d]);
+    const topo::AsType type = topology.as_at(host.as_id).type;
+    const std::size_t type_index = 1 + static_cast<std::size_t>(type);
+    const bool ping = campaign.ping_responsive(d);
+    const bool rr = campaign.rr_responsive(d);
+
+    for (const std::size_t idx : {std::size_t{0}, type_index}) {
+      ++table.by_ip[idx].probed;
+      if (ping) ++table.by_ip[idx].ping_responsive;
+      if (rr) ++table.by_ip[idx].rr_responsive;
+    }
+
+    AsAgg& agg = per_as[host.as_id];
+    agg.type = type;
+    agg.ping = agg.ping || ping;
+    agg.rr = agg.rr || rr;
+  }
+
+  for (const auto& [as_id, agg] : per_as) {
+    const std::size_t type_index = 1 + static_cast<std::size_t>(agg.type);
+    for (const std::size_t idx : {std::size_t{0}, type_index}) {
+      ++table.by_as[idx].probed;
+      if (agg.ping) ++table.by_as[idx].ping_responsive;
+      if (agg.rr) ++table.by_as[idx].rr_responsive;
+    }
+  }
+  return table;
+}
+
+std::vector<int> responding_vp_counts(const Campaign& campaign) {
+  std::vector<int> counts;
+  for (std::size_t d = 0; d < campaign.num_destinations(); ++d) {
+    const int count = campaign.responding_vp_count(d);
+    if (count > 0) counts.push_back(count);
+  }
+  return counts;
+}
+
+double fraction_answering_more_than(const Campaign& campaign, int threshold) {
+  const auto counts = responding_vp_counts(campaign);
+  if (counts.empty()) return 0.0;
+  std::size_t above = 0;
+  for (int count : counts) {
+    if (count > threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(counts.size());
+}
+
+}  // namespace rr::measure

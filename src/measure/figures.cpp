@@ -1,0 +1,154 @@
+#include "measure/figures.h"
+
+#include <algorithm>
+
+#include "analysis/cdf.h"
+#include "measure/classify.h"
+
+namespace rr::measure {
+
+namespace {
+
+void add_cdf_series(analysis::FigureData& figure, const std::string& label,
+                    const Campaign& campaign,
+                    const std::vector<std::size_t>& vp_subset,
+                    const std::vector<std::size_t>& dest_indices) {
+  const auto cdf =
+      closest_vp_distance_cdf(campaign, vp_subset, dest_indices);
+  auto& series = figure.add_series(label);
+  for (const auto& [x, y] : cdf.integer_points(1, 9)) series.add(x, y);
+}
+
+std::vector<std::size_t> all_vp_indices(const Campaign& campaign) {
+  std::vector<std::size_t> out(campaign.num_vps());
+  for (std::size_t v = 0; v < out.size(); ++v) out[v] = v;
+  return out;
+}
+
+}  // namespace
+
+analysis::FigureData figure1(const Campaign& campaign,
+                             const GreedySelection& greedy) {
+  analysis::FigureData figure(
+      "Figure 1: RR hops from closest VP to RR-responsive destinations",
+      "Number of RR hops from closest vantage point",
+      "CDF of destinations");
+  const auto responsive = campaign.rr_responsive_indices();
+  const auto mlab = vp_indices_of_platform(campaign, topo::Platform::kMLab);
+  const auto plab =
+      vp_indices_of_platform(campaign, topo::Platform::kPlanetLab);
+
+  add_cdf_series(figure, "all M-Lab sites", campaign, mlab, responsive);
+  if (greedy.chosen_vps.size() >= 10) {
+    add_cdf_series(figure, "10 M-Lab sites", campaign,
+                   {greedy.chosen_vps.begin(), greedy.chosen_vps.begin() + 10},
+                   responsive);
+  }
+  if (!greedy.chosen_vps.empty()) {
+    add_cdf_series(figure, "1 M-Lab site", campaign,
+                   {greedy.chosen_vps.front()}, responsive);
+  }
+  add_cdf_series(figure, "all PlanetLab sites", campaign, plab, responsive);
+  return figure;
+}
+
+analysis::FigureData figure2(const Campaign& campaign_2016,
+                             const Campaign& campaign_2011) {
+  analysis::FigureData figure(
+      "Figure 2: RR hops from closest VP, 2011 vs 2016",
+      "Number of RR hops from closest vantage point",
+      "CDF of RR-responsive destinations");
+  auto common_of = [](const Campaign& campaign) {
+    std::vector<std::size_t> out;
+    for (std::size_t v = 0; v < campaign.num_vps(); ++v) {
+      const auto& vp = *campaign.vps()[v];
+      if (vp.exists_in_2011 && vp.exists_in_2016) out.push_back(v);
+    }
+    return out;
+  };
+  add_cdf_series(figure, "2016 all VPs", campaign_2016,
+                 all_vp_indices(campaign_2016),
+                 campaign_2016.rr_responsive_indices());
+  add_cdf_series(figure, "2016 common VPs", campaign_2016,
+                 common_of(campaign_2016),
+                 campaign_2016.rr_responsive_indices());
+  add_cdf_series(figure, "2011 all VPs", campaign_2011,
+                 all_vp_indices(campaign_2011),
+                 campaign_2011.rr_responsive_indices());
+  add_cdf_series(figure, "2011 common VPs", campaign_2011,
+                 common_of(campaign_2011),
+                 campaign_2011.rr_responsive_indices());
+  return figure;
+}
+
+analysis::FigureData figure3(const CloudStudyResult& result) {
+  analysis::FigureData figure(
+      "Figure 3: hop count from GCE and M-Lab to destinations",
+      "Number of traceroute hops", "CDF of destinations");
+  if (!result.providers.empty()) {
+    const auto& gce = result.providers.front();
+    auto& reachable = figure.add_series(gce.name + " RR-reachable");
+    for (const auto& [x, y] : gce.to_reachable.integer_points(2, 20)) {
+      reachable.add(x, y);
+    }
+    auto& responsive = figure.add_series(gce.name + " RR-responsive");
+    for (const auto& [x, y] : gce.to_responsive.integer_points(2, 20)) {
+      responsive.add(x, y);
+    }
+  }
+  auto& mlab = figure.add_series("M-Lab RR-reachable");
+  for (const auto& [x, y] :
+       result.mlab_to_reachable.integer_points(2, 20)) {
+    mlab.add(x, y);
+  }
+  return figure;
+}
+
+analysis::FigureData figure4(const RateLimitResult& result) {
+  analysis::FigureData figure("Figure 4: RR responses per VP at two rates",
+                              "VP id (sorted by low-rate responses)",
+                              "Number of responses");
+  auto rows = result.rows;
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.responses_low > b.responses_low;
+  });
+  auto& low = figure.add_series("10 pps");
+  auto& high = figure.add_series("100 pps");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    low.add(static_cast<double>(i),
+            static_cast<double>(rows[i].responses_low));
+    high.add(static_cast<double>(i),
+             static_cast<double>(rows[i].responses_high));
+  }
+  return figure;
+}
+
+analysis::FigureData figure5(const TtlStudyResult& result) {
+  analysis::FigureData figure("Figure 5: responsive rate by initial TTL",
+                              "Initial TTL", "Fraction answering echo");
+  auto& near = figure.add_series("RR-reachable destinations");
+  auto& far = figure.add_series("RR-unreachable destinations");
+  for (const auto& row : result.rows) {
+    near.add(row.ttl, row.near_reply_rate());
+    far.add(row.ttl, row.far_reply_rate());
+  }
+  return figure;
+}
+
+analysis::FigureData vp_response_figure(const Campaign& campaign) {
+  analysis::FigureData figure(
+      "VP response counts (§3.2)",
+      "Number of VPs a destination answered",
+      "CDF of RR-responsive destinations");
+  const auto counts = responding_vp_counts(campaign);
+  std::vector<double> samples(counts.begin(), counts.end());
+  const analysis::Cdf cdf{std::move(samples)};
+  auto& series = figure.add_series("RR-responsive destinations");
+  for (const auto& [x, y] :
+       cdf.integer_points(0, static_cast<int>(campaign.num_vps()))) {
+    series.add(x, y);
+  }
+  return figure;
+}
+
+}  // namespace rr::measure

@@ -1,0 +1,41 @@
+// Figure builders: the exact series the paper's figures plot, produced
+// from study results as analysis::FigureData. The bench binaries print
+// these; tests validate their structure independently of any bench.
+#pragma once
+
+#include "analysis/series.h"
+#include "measure/campaign.h"
+#include "measure/cloud.h"
+#include "measure/ratelimit.h"
+#include "measure/reachability.h"
+#include "measure/ttl_study.h"
+
+namespace rr::measure {
+
+/// Figure 1: CDFs of RR hops from the closest VP (all M-Lab / 10 greedy
+/// M-Lab / 1 greedy M-Lab / all PlanetLab) over RR-responsive
+/// destinations. `greedy` supplies the ranked M-Lab sites.
+[[nodiscard]] analysis::FigureData figure1(const Campaign& campaign,
+                                           const GreedySelection& greedy);
+
+/// Figure 2: 2016 vs 2011 closest-VP CDFs, all VPs and common VPs.
+[[nodiscard]] analysis::FigureData figure2(const Campaign& campaign_2016,
+                                           const Campaign& campaign_2011);
+
+/// Figure 3: hop-count CDFs for the first provider (GCE analogue) and the
+/// M-Lab calibration distribution.
+[[nodiscard]] analysis::FigureData figure3(const CloudStudyResult& result);
+
+/// Figure 4: per-VP response counts at the two probing rates (sorted by
+/// low-rate responses for readability).
+[[nodiscard]] analysis::FigureData figure4(const RateLimitResult& result);
+
+/// Figure 5: reply rate vs initial TTL for the in-range and out-of-range
+/// destination classes.
+[[nodiscard]] analysis::FigureData figure5(const TtlStudyResult& result);
+
+/// Extra (§3.2): CDF of per-destination responding-VP counts.
+[[nodiscard]] analysis::FigureData vp_response_figure(
+    const Campaign& campaign);
+
+}  // namespace rr::measure

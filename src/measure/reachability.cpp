@@ -1,0 +1,94 @@
+#include "measure/reachability.h"
+
+#include <limits>
+
+namespace rr::measure {
+
+std::vector<std::size_t> vp_indices_where(
+    const Campaign& campaign,
+    const std::function<bool(const topo::VantagePoint&)>& predicate) {
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < campaign.num_vps(); ++v) {
+    if (predicate(*campaign.vps()[v])) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> vp_indices_of_platform(const Campaign& campaign,
+                                                topo::Platform platform) {
+  return vp_indices_where(campaign,
+                          [platform](const topo::VantagePoint& vp) {
+                            return vp.platform == platform;
+                          });
+}
+
+analysis::Cdf closest_vp_distance_cdf(
+    const Campaign& campaign, const std::vector<std::size_t>& vp_subset,
+    const std::vector<std::size_t>& dest_indices) {
+  std::vector<double> samples;
+  samples.reserve(dest_indices.size());
+  for (std::size_t d : dest_indices) {
+    const int dist = campaign.min_rr_distance(d, vp_subset);
+    samples.push_back(dist > 0 ? static_cast<double>(dist)
+                               : std::numeric_limits<double>::infinity());
+  }
+  return analysis::Cdf{std::move(samples)};
+}
+
+double fraction_within(const Campaign& campaign,
+                       const std::vector<std::size_t>& vp_subset,
+                       const std::vector<std::size_t>& dest_indices,
+                       int limit) {
+  if (dest_indices.empty()) return 0.0;
+  std::size_t within = 0;
+  for (std::size_t d : dest_indices) {
+    const int dist = campaign.min_rr_distance(d, vp_subset);
+    if (dist > 0 && dist <= limit) ++within;
+  }
+  return static_cast<double>(within) /
+         static_cast<double>(dest_indices.size());
+}
+
+GreedySelection greedy_vp_selection(
+    const Campaign& campaign, const std::vector<std::size_t>& candidate_vps,
+    const std::vector<std::size_t>& dest_indices, int max_sites) {
+  GreedySelection result;
+  if (dest_indices.empty()) return result;
+
+  // covered[i] tracks destinations already reachable from a chosen site.
+  std::vector<std::uint8_t> covered(dest_indices.size(), 0);
+  std::vector<std::uint8_t> used(campaign.num_vps(), 0);
+  std::size_t covered_count = 0;
+
+  for (int round = 0; round < max_sites; ++round) {
+    std::size_t best_vp = campaign.num_vps();
+    std::size_t best_gain = 0;
+    for (std::size_t v : candidate_vps) {
+      if (used[v]) continue;
+      std::size_t gain = 0;
+      for (std::size_t i = 0; i < dest_indices.size(); ++i) {
+        if (covered[i]) continue;
+        if (campaign.at(v, dest_indices[i]).rr_reachable()) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_vp = v;
+      }
+    }
+    if (best_vp == campaign.num_vps() || best_gain == 0) break;
+    used[best_vp] = 1;
+    for (std::size_t i = 0; i < dest_indices.size(); ++i) {
+      if (!covered[i] &&
+          campaign.at(best_vp, dest_indices[i]).rr_reachable()) {
+        covered[i] = 1;
+        ++covered_count;
+      }
+    }
+    result.chosen_vps.push_back(best_vp);
+    result.coverage.push_back(static_cast<double>(covered_count) /
+                              static_cast<double>(dest_indices.size()));
+  }
+  return result;
+}
+
+}  // namespace rr::measure

@@ -1,0 +1,49 @@
+// RR reachability analyses — Figures 1 and 2, and the greedy vantage-point
+// selection of §3.3.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/cdf.h"
+#include "measure/campaign.h"
+
+namespace rr::measure {
+
+/// Indices (into campaign.vps()) of VPs matching a predicate.
+[[nodiscard]] std::vector<std::size_t> vp_indices_where(
+    const Campaign& campaign,
+    const std::function<bool(const topo::VantagePoint&)>& predicate);
+
+/// All VPs of one platform.
+[[nodiscard]] std::vector<std::size_t> vp_indices_of_platform(
+    const Campaign& campaign, topo::Platform platform);
+
+/// Figure 1/2 curve: for each destination in `dest_indices`, the RR hop
+/// distance to the closest VP in `vp_subset`. Destinations unreachable from
+/// every VP in the subset enter the CDF at +infinity, so the CDF value at
+/// x = 9 is exactly the subset's RR-reachable fraction.
+[[nodiscard]] analysis::Cdf closest_vp_distance_cdf(
+    const Campaign& campaign, const std::vector<std::size_t>& vp_subset,
+    const std::vector<std::size_t>& dest_indices);
+
+/// Fraction of `dest_indices` within `limit` RR hops of the subset.
+[[nodiscard]] double fraction_within(const Campaign& campaign,
+                                     const std::vector<std::size_t>& vp_subset,
+                                     const std::vector<std::size_t>&
+                                         dest_indices,
+                                     int limit);
+
+/// Greedy VP (site) selection: repeatedly picks the VP covering the most
+/// still-uncovered destinations (coverage = within 9 RR hops), mirroring
+/// the paper's "73% with one site, 95% with ten" analysis.
+struct GreedySelection {
+  std::vector<std::size_t> chosen_vps;   // in pick order
+  std::vector<double> coverage;          // cumulative fraction after each pick
+};
+
+[[nodiscard]] GreedySelection greedy_vp_selection(
+    const Campaign& campaign, const std::vector<std::size_t>& candidate_vps,
+    const std::vector<std::size_t>& dest_indices, int max_sites);
+
+}  // namespace rr::measure

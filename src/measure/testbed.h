@@ -1,0 +1,81 @@
+// Testbed: the assembled measurement environment.
+//
+// Owns (or shares) a topology, a behaviour assignment, the routing oracle
+// for one epoch, and a Network — everything a study phase needs to create
+// probers and send packets. Construct one per epoch; topology and
+// behaviours can be shared between epochs so Figure 2 compares the same
+// world under different connectivity.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "probe/prober.h"
+#include "routing/oracle.h"
+#include "sim/network.h"
+#include "topology/generator.h"
+
+namespace rr::measure {
+
+struct TestbedConfig {
+  topo::TopologyParams topo_params = topo::TopologyParams::paper_scale();
+  sim::BehaviorParams behavior_params;
+  sim::NetParams net_params;
+  topo::Epoch epoch = topo::Epoch::k2016;
+};
+
+class Testbed {
+ public:
+  /// Generates a fresh world and wires everything up.
+  explicit Testbed(const TestbedConfig& config);
+
+  /// Reuses an existing world + behaviours (same devices, same policies)
+  /// under a different epoch's connectivity.
+  Testbed(std::shared_ptr<const topo::Topology> topology,
+          std::shared_ptr<const sim::Behaviors> behaviors,
+          const TestbedConfig& config);
+
+  [[nodiscard]] const topo::Topology& topology() const noexcept {
+    return *topology_;
+  }
+  [[nodiscard]] std::shared_ptr<const topo::Topology> topology_ptr()
+      const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] std::shared_ptr<const sim::Behaviors> behaviors_ptr()
+      const noexcept {
+    return behaviors_;
+  }
+  [[nodiscard]] const sim::Behaviors& behaviors() const noexcept {
+    return *behaviors_;
+  }
+  [[nodiscard]] route::RoutingOracle& oracle() noexcept { return *oracle_; }
+  [[nodiscard]] sim::Network& network() noexcept { return *network_; }
+  [[nodiscard]] topo::Epoch epoch() const noexcept { return config_.epoch; }
+
+  /// Vantage points active in this epoch, in a stable order.
+  [[nodiscard]] const std::vector<const topo::VantagePoint*>& vps()
+      const noexcept {
+    return vps_;
+  }
+
+  /// Creates a prober bound to a VP host.
+  [[nodiscard]] probe::Prober make_prober(topo::HostId source,
+                                          double pps = 20.0) {
+    probe::Prober::Options options;
+    options.pps = pps;
+    return probe::Prober{*network_, source, options};
+  }
+
+ private:
+  void init();
+
+  TestbedConfig config_;
+  std::shared_ptr<const topo::Topology> topology_;
+  std::shared_ptr<const sim::Behaviors> behaviors_;
+  std::unique_ptr<route::RoutingOracle> oracle_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<const topo::VantagePoint*> vps_;
+};
+
+}  // namespace rr::measure

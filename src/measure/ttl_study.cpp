@@ -1,0 +1,78 @@
+#include "measure/ttl_study.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace rr::measure {
+
+const TtlStudyResult::Row* TtlStudyResult::row_for(int ttl) const noexcept {
+  for (const auto& row : rows) {
+    if (row.ttl == ttl) return &row;
+  }
+  return nullptr;
+}
+
+TtlStudyResult ttl_study(Testbed& testbed, const Campaign& campaign,
+                         const TtlStudyConfig& config) {
+  util::Rng rng{config.seed};
+  std::map<int, TtlStudyResult::Row> rows;
+
+  std::vector<int> ttl_values;
+  for (int ttl = config.ttl_min; ttl <= config.ttl_max; ++ttl) {
+    ttl_values.push_back(ttl);
+  }
+  if (config.include_default_ttl) ttl_values.push_back(64);
+
+  for (std::size_t v = 0; v < campaign.num_vps(); ++v) {
+    // Near: directly RR-reachable from this VP. Far: RR-responsive to this
+    // VP but out of RR range of it.
+    std::vector<std::size_t> near, far;
+    for (std::size_t d = 0; d < campaign.num_destinations(); ++d) {
+      const RrObservation& obs = campaign.at(v, d);
+      if (obs.rr_reachable()) {
+        near.push_back(d);
+      } else if (obs.rr_responsive()) {
+        far.push_back(d);
+      }
+    }
+    rng.shuffle(near);
+    rng.shuffle(far);
+    const std::size_t take = std::min(
+        {near.size(), far.size(), config.per_vp_per_class});
+    near.resize(take);
+    far.resize(take);
+    if (take == 0) continue;
+
+    auto prober = testbed.make_prober(campaign.vps()[v]->host, config.pps);
+    for (const bool is_far : {false, true}) {
+      const auto& set = is_far ? far : near;
+      for (std::size_t d : set) {
+        const int ttl =
+            ttl_values[rng.next_below(ttl_values.size())];
+        const auto target = campaign.topology()
+                                .host_at(campaign.destinations()[d])
+                                .address;
+        const auto r = prober.probe(probe::ProbeSpec::ping_rr(
+            target, static_cast<std::uint8_t>(ttl)));
+        auto& row = rows[ttl];
+        row.ttl = ttl;
+        auto& sent = is_far ? row.far_sent : row.near_sent;
+        auto& replied = is_far ? row.far_replied : row.near_replied;
+        auto& expired = is_far ? row.far_expired : row.near_expired;
+        ++sent;
+        if (r.kind == probe::ResponseKind::kEchoReply) ++replied;
+        if (r.kind == probe::ResponseKind::kTtlExceeded) ++expired;
+      }
+    }
+  }
+
+  TtlStudyResult result;
+  for (auto& [ttl, row] : rows) result.rows.push_back(row);
+  util::log_info() << "ttl study: " << result.rows.size() << " TTL buckets";
+  return result;
+}
+
+}  // namespace rr::measure

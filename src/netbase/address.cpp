@@ -1,0 +1,41 @@
+#include "netbase/address.h"
+
+#include <cstdio>
+
+namespace rr::net {
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) noexcept {
+  std::uint32_t octets[4] = {0, 0, 0, 0};
+  int octet_index = 0;
+  int digits_in_octet = 0;
+  for (char c : text) {
+    if (c == '.') {
+      if (digits_in_octet == 0 || octet_index == 3) return std::nullopt;
+      ++octet_index;
+      digits_in_octet = 0;
+      continue;
+    }
+    if (c < '0' || c > '9') return std::nullopt;
+    if (digits_in_octet == 3) return std::nullopt;
+    // Reject leading zeros ("01") which some parsers read as octal.
+    if (digits_in_octet > 0 && octets[octet_index] == 0) return std::nullopt;
+    octets[octet_index] =
+        octets[octet_index] * 10 + static_cast<std::uint32_t>(c - '0');
+    if (octets[octet_index] > 255) return std::nullopt;
+    ++digits_in_octet;
+  }
+  if (octet_index != 3 || digits_in_octet == 0) return std::nullopt;
+  return IPv4Address{static_cast<std::uint8_t>(octets[0]),
+                     static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]),
+                     static_cast<std::uint8_t>(octets[3])};
+}
+
+std::string IPv4Address::to_string() const {
+  char buffer[16];
+  const auto b = to_bytes();
+  std::snprintf(buffer, sizeof(buffer), "%u.%u.%u.%u", b[0], b[1], b[2], b[3]);
+  return buffer;
+}
+
+}  // namespace rr::net

@@ -1,0 +1,73 @@
+// IPv4 address value type.
+//
+// Stored in host byte order internally; `to_bytes`/`from_bytes` produce and
+// consume network byte order, which is what goes on the wire.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rr::net {
+
+class IPv4Address {
+ public:
+  constexpr IPv4Address() noexcept = default;
+
+  /// From a host-byte-order 32-bit value (0x7f000001 == 127.0.0.1).
+  constexpr explicit IPv4Address(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+
+  /// From dotted-quad octets (a.b.c.d).
+  constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad text ("192.0.2.1"); rejects malformed input.
+  [[nodiscard]] static std::optional<IPv4Address> parse(
+      std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+
+  [[nodiscard]] constexpr bool is_unspecified() const noexcept {
+    return value_ == 0;
+  }
+
+  /// Network-byte-order (big-endian) wire representation.
+  [[nodiscard]] constexpr std::array<std::uint8_t, 4> to_bytes()
+      const noexcept {
+    return {static_cast<std::uint8_t>(value_ >> 24),
+            static_cast<std::uint8_t>(value_ >> 16),
+            static_cast<std::uint8_t>(value_ >> 8),
+            static_cast<std::uint8_t>(value_)};
+  }
+
+  [[nodiscard]] static constexpr IPv4Address from_bytes(
+      std::uint8_t b0, std::uint8_t b1, std::uint8_t b2,
+      std::uint8_t b3) noexcept {
+    return IPv4Address{b0, b1, b2, b3};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const IPv4Address&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace rr::net
+
+template <>
+struct std::hash<rr::net::IPv4Address> {
+  std::size_t operator()(const rr::net::IPv4Address& addr) const noexcept {
+    return std::hash<std::uint32_t>{}(addr.value());
+  }
+};

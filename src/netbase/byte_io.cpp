@@ -1,0 +1,2 @@
+// ByteWriter/ByteReader are header-only; this TU checks self-containment.
+#include "netbase/byte_io.h"

@@ -1,0 +1,131 @@
+// Bounds-checked big-endian byte reader/writer.
+//
+// All wire serialization in rropt goes through these two types, so there is
+// exactly one place where byte order and bounds are handled. Readers never
+// throw; out-of-range reads mark the reader bad and return zeroes, and
+// parsers must check `ok()` before trusting results (mirrors how robust
+// packet parsers treat truncated input).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netbase/address.h"
+
+namespace rr::net {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buffer_.reserve(reserve_bytes); }
+
+  void u8(std::uint8_t value) { buffer_.push_back(value); }
+
+  void u16(std::uint16_t value) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> 8));
+    buffer_.push_back(static_cast<std::uint8_t>(value));
+  }
+
+  void u32(std::uint32_t value) {
+    buffer_.push_back(static_cast<std::uint8_t>(value >> 24));
+    buffer_.push_back(static_cast<std::uint8_t>(value >> 16));
+    buffer_.push_back(static_cast<std::uint8_t>(value >> 8));
+    buffer_.push_back(static_cast<std::uint8_t>(value));
+  }
+
+  void address(IPv4Address addr) { u32(addr.value()); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+
+  void zeros(std::size_t count) { buffer_.insert(buffer_.end(), count, 0); }
+
+  /// Overwrites 2 bytes at `offset` (used to patch checksums in place).
+  void patch_u16(std::size_t offset, std::uint16_t value) noexcept {
+    if (offset + 2 > buffer_.size()) return;
+    buffer_[offset] = static_cast<std::uint8_t>(value >> 8);
+    buffer_[offset + 1] = static_cast<std::uint8_t>(value);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept {
+    return std::move(buffer_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (!require(1)) return 0;
+    return data_[position_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16() noexcept {
+    if (!require(2)) return 0;
+    const std::uint16_t value = static_cast<std::uint16_t>(
+        (std::uint16_t{data_[position_]} << 8) | data_[position_ + 1]);
+    position_ += 2;
+    return value;
+  }
+
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    if (!require(4)) return 0;
+    const std::uint32_t value = (std::uint32_t{data_[position_]} << 24) |
+                                (std::uint32_t{data_[position_ + 1]} << 16) |
+                                (std::uint32_t{data_[position_ + 2]} << 8) |
+                                std::uint32_t{data_[position_ + 3]};
+    position_ += 4;
+    return value;
+  }
+
+  [[nodiscard]] IPv4Address address() noexcept { return IPv4Address{u32()}; }
+
+  /// Reads `count` bytes; returns an empty span (and marks bad) if short.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t count) noexcept {
+    if (!require(count)) return {};
+    auto out = data_.subspan(position_, count);
+    position_ += count;
+    return out;
+  }
+
+  void skip(std::size_t count) noexcept {
+    if (require(count)) position_ += count;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - position_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  /// Remaining bytes without consuming them.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(position_);
+  }
+
+ private:
+  [[nodiscard]] bool require(std::size_t count) noexcept {
+    if (position_ + count > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return ok_;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t position_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rr::net

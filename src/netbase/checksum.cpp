@@ -1,0 +1,33 @@
+#include "netbase/checksum.h"
+
+namespace rr::net {
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                               std::uint32_t initial) noexcept {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += std::uint32_t{data[i]} << 8;  // pad the odd byte with zero
+  }
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t partial) noexcept {
+  while (partial >> 16) {
+    partial = (partial & 0xffff) + (partial >> 16);
+  }
+  return static_cast<std::uint16_t>(~partial & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return checksum_finish(checksum_partial(data));
+}
+
+bool checksum_ok(std::span<const std::uint8_t> data) noexcept {
+  return checksum_finish(checksum_partial(data)) == 0;
+}
+
+}  // namespace rr::net

@@ -1,0 +1,30 @@
+// RFC 1071 Internet checksum.
+//
+// Used by the IPv4 header, ICMP messages, and (optionally) UDP. The
+// simulator validates checksums at every hop, exactly as real routers and
+// hosts do, so serialization bugs surface as drops rather than silent
+// mis-measurements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rr::net {
+
+/// One's-complement sum of 16-bit words (padding an odd trailing byte with
+/// zero), not yet complemented. Useful for incremental computation.
+[[nodiscard]] std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                                             std::uint32_t initial = 0) noexcept;
+
+/// Folds a partial sum and complements it, yielding the wire checksum.
+[[nodiscard]] std::uint16_t checksum_finish(std::uint32_t partial) noexcept;
+
+/// Complete RFC 1071 checksum of a buffer.
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Verifies a buffer whose checksum field is in place: the checksum over the
+/// whole buffer must be zero.
+[[nodiscard]] bool checksum_ok(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace rr::net

@@ -1,0 +1,10 @@
+// LpmTrie is header-only (template); this TU exists to give the target a
+// compiled symbol and to catch header self-containment regressions.
+#include "netbase/lpm_trie.h"
+
+namespace rr::net {
+
+// Explicit instantiation of the most common use to keep codegen honest.
+template class LpmTrie<std::uint32_t>;
+
+}  // namespace rr::net

@@ -1,0 +1,126 @@
+// Longest-prefix-match binary trie mapping IPv4 prefixes to values.
+//
+// Used for the RouteViews-style prefix table (destination selection), for
+// mapping recorded/traceroute IP addresses back to the AS that owns them,
+// and as a generic forwarding-table structure. Path-compressed enough for
+// our scale by virtue of only allocating nodes along inserted prefixes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netbase/address.h"
+#include "netbase/prefix.h"
+
+namespace rr::net {
+
+template <typename Value>
+class LpmTrie {
+ public:
+  LpmTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or replaces the value for an exact prefix.
+  void insert(const Prefix& prefix, Value value) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.base().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value.has_value()) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Longest-prefix-match lookup; nullptr when nothing covers `addr`.
+  [[nodiscard]] const Value* lookup(IPv4Address addr) const noexcept {
+    const Node* node = root_.get();
+    const Value* best = node->value ? &*node->value : nullptr;
+    const std::uint32_t bits = addr.value();
+    for (int depth = 0; depth < 32 && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Longest matching prefix itself (with its value), if any.
+  [[nodiscard]] std::optional<std::pair<Prefix, Value>> lookup_prefix(
+      IPv4Address addr) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, Value>> best;
+    if (node->value) best = {Prefix{addr, 0}, *node->value};
+    const std::uint32_t bits = addr.value();
+    for (int depth = 0; depth < 32 && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node && node->value) {
+        best = {Prefix{addr, static_cast<std::uint8_t>(depth + 1)},
+                *node->value};
+      }
+    }
+    return best;
+  }
+
+  /// Exact-match lookup (no covering-prefix fallback).
+  [[nodiscard]] const Value* exact(const Prefix& prefix) const noexcept {
+    const Node* node = root_.get();
+    const std::uint32_t bits = prefix.base().value();
+    for (int depth = 0; depth < prefix.length() && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+    }
+    return (node && node->value) ? &*node->value : nullptr;
+  }
+
+  /// Removes an exact prefix; returns true if it was present.
+  bool erase(const Prefix& prefix) noexcept {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.base().value();
+    for (int depth = 0; depth < prefix.length() && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+    }
+    if (!node || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in lexicographic bit order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(root_.get(), 0, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  template <typename Fn>
+  static void visit(const Node* node, std::uint32_t bits, int depth, Fn& fn) {
+    if (!node) return;
+    if (node->value) {
+      fn(Prefix{IPv4Address{depth == 0 ? 0 : bits << (32 - depth)},
+                static_cast<std::uint8_t>(depth)},
+         *node->value);
+    }
+    if (depth == 32) return;
+    visit(node->children[0].get(), bits << 1, depth + 1, fn);
+    visit(node->children[1].get(), (bits << 1) | 1, depth + 1, fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rr::net

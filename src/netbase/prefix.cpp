@@ -1,0 +1,25 @@
+#include "netbase/prefix.h"
+
+namespace rr::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IPv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2) return std::nullopt;
+  unsigned length = 0;
+  for (char c : len_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    length = length * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (length > 32) return std::nullopt;
+  return Prefix{*addr, static_cast<std::uint8_t>(length)};
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace rr::net

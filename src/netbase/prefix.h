@@ -1,0 +1,82 @@
+// IPv4 prefix (CIDR block) value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/address.h"
+
+namespace rr::net {
+
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+
+  /// Constructs a prefix; host bits of `base` below the mask are cleared.
+  constexpr Prefix(IPv4Address base, std::uint8_t length) noexcept
+      : base_(IPv4Address{mask_off(base.value(), length)}),
+        length_(length <= 32 ? length : 32) {}
+
+  /// Parses "a.b.c.d/len".
+  [[nodiscard]] static std::optional<Prefix> parse(
+      std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr IPv4Address base() const noexcept { return base_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept {
+    return length_;
+  }
+
+  /// Number of addresses covered (2^(32-length)); 0-length covers all.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(IPv4Address addr) const noexcept {
+    return mask_off(addr.value(), length_) == base_.value();
+  }
+
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  /// The address at `offset` within the block (wraps modulo size()).
+  [[nodiscard]] constexpr IPv4Address address_at(
+      std::uint64_t offset) const noexcept {
+    return IPv4Address{base_.value() +
+                       static_cast<std::uint32_t>(offset % size())};
+  }
+
+  /// Enclosing /24 of an address (the equivalence used in the paper's §3.6).
+  [[nodiscard]] static constexpr Prefix slash24_of(IPv4Address addr) noexcept {
+    return Prefix{addr, 24};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask_off(std::uint32_t value,
+                                          std::uint8_t length) noexcept {
+    if (length == 0) return 0;
+    if (length >= 32) return value;
+    return value & ~((std::uint32_t{1} << (32 - length)) - 1);
+  }
+
+  IPv4Address base_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace rr::net
+
+template <>
+struct std::hash<rr::net::Prefix> {
+  std::size_t operator()(const rr::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.base().value()} << 8) | p.length());
+  }
+};

@@ -1,0 +1,77 @@
+// In-place per-hop packet mutation, the way real forwarding planes do it:
+// a router does not deserialize a datagram into objects — it edits the TTL
+// byte and the Record Route slot directly in the buffer and fixes up the
+// header checksum.
+//
+// All functions operate on a raw datagram buffer whose first byte is the
+// IPv4 version/IHL byte. They validate just enough structure to be safe on
+// arbitrary bytes and return false (leaving the buffer untouched) when the
+// operation does not apply.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "netbase/address.h"
+
+namespace rr::pkt {
+
+/// Quick field reads (no checksum validation; bounds-checked).
+[[nodiscard]] std::optional<std::uint8_t> peek_ttl(
+    std::span<const std::uint8_t> datagram) noexcept;
+[[nodiscard]] std::optional<std::uint8_t> peek_protocol(
+    std::span<const std::uint8_t> datagram) noexcept;
+[[nodiscard]] std::optional<net::IPv4Address> peek_source(
+    std::span<const std::uint8_t> datagram) noexcept;
+[[nodiscard]] std::optional<net::IPv4Address> peek_destination(
+    std::span<const std::uint8_t> datagram) noexcept;
+
+/// True if the header carries any IP option bytes (IHL > 5). Routers use
+/// this to divert packets to the slow path.
+[[nodiscard]] bool has_ip_options(
+    std::span<const std::uint8_t> datagram) noexcept;
+
+/// Location of a Record Route option within the header, as byte offsets
+/// into the datagram buffer.
+struct RrLocation {
+  std::size_t option_offset = 0;  // offset of the type byte
+  std::uint8_t length = 0;        // option length field
+  std::uint8_t pointer = 0;       // option pointer field
+
+  [[nodiscard]] int capacity() const noexcept { return (length - 3) / 4; }
+  [[nodiscard]] int recorded() const noexcept { return (pointer - 4) / 4; }
+  [[nodiscard]] bool full() const noexcept { return pointer >= length; }
+  [[nodiscard]] int free_slots() const noexcept {
+    return capacity() - recorded();
+  }
+};
+
+/// Finds the first Record Route option in the header's option area.
+[[nodiscard]] std::optional<RrLocation> find_rr(
+    std::span<const std::uint8_t> datagram) noexcept;
+
+/// Decrements the TTL and repairs the header checksum incrementally
+/// (RFC 1141). Returns the new TTL, or nullopt if the buffer is not a
+/// plausible IPv4 datagram or the TTL is already zero.
+std::optional<std::uint8_t> decrement_ttl(
+    std::span<std::uint8_t> datagram) noexcept;
+
+/// Stamps `address` into the next free RR slot (advancing the pointer) and
+/// repairs the header checksum. Returns false if there is no RR option or
+/// it is full — in which case the datagram is untouched and the router
+/// simply forwards it, per RFC 791.
+bool rr_stamp(std::span<std::uint8_t> datagram,
+              net::IPv4Address address) noexcept;
+
+/// Stamps an (address, timestamp) entry into the first Timestamp option
+/// (flag 1) if a slot is free — otherwise increments its overflow counter
+/// — and repairs the header checksum. Returns false when the datagram has
+/// no Timestamp option at all.
+bool ts_stamp(std::span<std::uint8_t> datagram, net::IPv4Address address,
+              std::uint32_t timestamp_ms) noexcept;
+
+/// Recomputes the header checksum from scratch (after arbitrary edits).
+bool rewrite_header_checksum(std::span<std::uint8_t> datagram) noexcept;
+
+}  // namespace rr::pkt

@@ -1,0 +1,28 @@
+#include "packet/udp.h"
+
+namespace rr::pkt {
+
+void UdpDatagram::serialize(net::ByteWriter& out) const {
+  out.u16(source_port);
+  out.u16(destination_port);
+  out.u16(static_cast<std::uint16_t>(wire_length()));
+  out.u16(0);  // checksum optional in IPv4; 0 = not computed
+  out.bytes(payload);
+}
+
+std::optional<UdpDatagram> UdpDatagram::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return std::nullopt;
+  net::ByteReader reader{data};
+  UdpDatagram udp;
+  udp.source_port = reader.u16();
+  udp.destination_port = reader.u16();
+  const std::uint16_t length = reader.u16();
+  reader.skip(2);  // checksum (unvalidated when zero)
+  if (length < 8 || length > data.size()) return std::nullopt;
+  const auto payload = reader.rest().first(length - 8);
+  udp.payload.assign(payload.begin(), payload.end());
+  return udp;
+}
+
+}  // namespace rr::pkt

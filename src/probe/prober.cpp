@@ -1,0 +1,186 @@
+#include "probe/prober.h"
+
+#include "packet/datagram.h"
+#include "packet/mutate.h"
+#include "packet/udp.h"
+
+namespace rr::probe {
+
+const char* to_string(ProbeType type) noexcept {
+  switch (type) {
+    case ProbeType::kPing: return "ping";
+    case ProbeType::kPingRr: return "ping-RR";
+    case ProbeType::kPingRrUdp: return "ping-RRudp";
+    case ProbeType::kPingTs: return "ping-TS";
+  }
+  return "?";
+}
+
+const char* to_string(ResponseKind kind) noexcept {
+  switch (kind) {
+    case ResponseKind::kNone: return "none";
+    case ResponseKind::kEchoReply: return "echo-reply";
+    case ResponseKind::kTtlExceeded: return "ttl-exceeded";
+    case ResponseKind::kPortUnreachable: return "port-unreachable";
+  }
+  return "?";
+}
+
+std::string ProbeResult::to_string() const {
+  std::string out = std::string{probe::to_string(type)} + " " +
+                    target.to_string() + " -> " + probe::to_string(kind);
+  if (rr_option_in_reply) {
+    out += " rr[";
+    for (std::size_t i = 0; i < rr_recorded.size(); ++i) {
+      out += (i ? "," : "") + rr_recorded[i].to_string();
+    }
+    out += "]+" + std::to_string(rr_free_slots);
+  }
+  if (quoted_rr_present) {
+    out += " quoted-rr(" + std::to_string(quoted_rr.size()) + "+" +
+           std::to_string(quoted_rr_free_slots) + " free)";
+  }
+  return out;
+}
+
+Prober::Prober(sim::Network& network, topo::HostId source,
+               ProberOptions options)
+    : network_(&network),
+      source_(source),
+      source_address_(network.topology().host_at(source).address),
+      icmp_id_(options.icmp_id != 0
+                   ? options.icmp_id
+                   : static_cast<std::uint16_t>(0x4000 | (source & 0x3fff))),
+      clock_(options.start_time),
+      interval_(1.0 / options.pps) {}
+
+ProbeResult Prober::probe(const ProbeSpec& spec) {
+  const double send_time = clock_;
+  clock_ += interval_;
+  ++sent_;
+  const std::uint16_t seq = next_seq_++;
+
+  pkt::Datagram datagram;
+  if (spec.type == ProbeType::kPingRrUdp) {
+    const std::uint16_t dst_port = static_cast<std::uint16_t>(
+        pkt::kUdpProbePortBase + (next_udp_port_++ % 256));
+    datagram = pkt::make_udp_probe(source_address_, spec.target,
+                                   static_cast<std::uint16_t>(0x8000 | seq),
+                                   dst_port, spec.ttl, spec.rr_slots);
+  } else if (spec.type == ProbeType::kPingTs) {
+    datagram = pkt::make_ping_ts(source_address_, spec.target, icmp_id_, seq,
+                                 spec.ttl, spec.rr_slots);
+  } else {
+    const int slots = spec.type == ProbeType::kPingRr ? spec.rr_slots : 0;
+    datagram = pkt::make_ping(source_address_, spec.target, icmp_id_, seq,
+                              spec.ttl, slots);
+  }
+
+  ProbeResult result;
+  result.target = spec.target;
+  result.type = spec.type;
+  result.send_time = send_time;
+
+  auto bytes = datagram.serialize();
+  if (!bytes) return result;
+  const auto delivery = network_->send(source_, std::move(*bytes), send_time);
+  if (!delivery) return result;
+  return parse_response(spec, seq, send_time, *delivery);
+}
+
+ProbeResult Prober::parse_response(const ProbeSpec& spec, std::uint16_t seq,
+                                   double send_time,
+                                   const sim::Network::Delivery& delivery) {
+  ProbeResult result;
+  result.target = spec.target;
+  result.type = spec.type;
+  result.send_time = send_time;
+
+  const auto reply = pkt::Datagram::parse(delivery.bytes);
+  if (!reply) return result;
+  const auto* icmp = reply->icmp();
+  if (!icmp) return result;
+
+  result.responder = reply->header.source;
+  result.reply_ip_id = reply->header.identification;
+
+  if (icmp->type == pkt::IcmpType::kEchoReply) {
+    const auto* echo = icmp->echo();
+    if (!echo || echo->identifier != icmp_id_ || echo->sequence != seq) {
+      ++mismatched_;
+      return result;
+    }
+    result.kind = ResponseKind::kEchoReply;
+    result.rtt = delivery.time - send_time;
+    if (const auto* rr = reply->header.record_route()) {
+      result.rr_option_in_reply = true;
+      result.rr_recorded = rr->recorded;
+      result.rr_free_slots = rr->remaining_slots();
+    }
+    if (const auto* ts = pkt::find_timestamp(reply->header.options)) {
+      result.ts_option_in_reply = true;
+      for (const auto& entry : ts->entries) {
+        result.ts_entries.emplace_back(entry.address, entry.timestamp_ms);
+      }
+      result.ts_overflow = ts->overflow;
+    }
+    ++matched_;
+    return result;
+  }
+
+  // ICMP errors: validate against the quoted datagram.
+  const auto* body = icmp->error_body();
+  if (!body) return result;
+  const auto quoted_header = pkt::Ipv4Header::parse(body->quoted_datagram);
+  if (!quoted_header || quoted_header->destination != spec.target ||
+      quoted_header->source != source_address_) {
+    ++mismatched_;
+    return result;
+  }
+
+  if (icmp->type == pkt::IcmpType::kTimeExceeded) {
+    result.kind = ResponseKind::kTtlExceeded;
+  } else if (icmp->type == pkt::IcmpType::kDestUnreachable &&
+             icmp->code == pkt::kCodePortUnreachable) {
+    result.kind = ResponseKind::kPortUnreachable;
+  } else {
+    ++mismatched_;
+    return result;
+  }
+  result.rtt = delivery.time - send_time;
+  if (const auto* rr = quoted_header->record_route()) {
+    result.quoted_rr_present = true;
+    result.quoted_rr = rr->recorded;
+    result.quoted_rr_free_slots = rr->remaining_slots();
+  }
+  ++matched_;
+  return result;
+}
+
+TracerouteResult Prober::traceroute(net::IPv4Address target, int max_ttl,
+                                    int attempts) {
+  TracerouteResult result;
+  result.target = target;
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    TracerouteHop hop;
+    hop.ttl = ttl;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      ProbeSpec spec = ProbeSpec::ping(target);
+      spec.ttl = static_cast<std::uint8_t>(ttl);
+      const ProbeResult probe_result = probe(spec);
+      if (!probe_result.responded()) continue;
+      hop.responded = true;
+      hop.address = probe_result.responder;
+      hop.kind = probe_result.kind;
+      break;
+    }
+    result.hops.push_back(hop);
+    if (hop.kind == ResponseKind::kEchoReply) {
+      result.reached = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rr::probe

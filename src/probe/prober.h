@@ -1,0 +1,76 @@
+// A scamper-like probing engine bound to one vantage point.
+//
+// The prober owns a virtual send clock paced at a configurable packets-per-
+// second rate (the paper's studies ran at 20 pps; §4.1 compares 10 and 100),
+// builds real probe datagrams, injects them into the Network, and parses
+// responses into ProbeResults, validating that a response actually matches
+// the outstanding probe (id/seq for echoes, quoted headers for errors).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "probe/types.h"
+#include "sim/network.h"
+
+namespace rr::probe {
+
+struct ProberOptions {
+  double pps = 20.0;           // probing rate (paper default)
+  std::uint16_t icmp_id = 0;   // 0 = derive from source host id
+  double start_time = 0.0;     // virtual campaign start
+};
+
+class Prober {
+ public:
+  using Options = ProberOptions;
+
+  Prober(sim::Network& network, topo::HostId source,
+         ProberOptions options = ProberOptions{});
+
+  /// Sends one probe at the next paced slot and returns its result.
+  ProbeResult probe(const ProbeSpec& spec);
+
+  /// Classic traceroute: TTL-limited pings until the target answers or
+  /// `max_ttl` is exhausted; `attempts` tries per hop.
+  [[nodiscard]] TracerouteResult traceroute(net::IPv4Address target,
+                                            int max_ttl = 30,
+                                            int attempts = 2);
+
+  /// Virtual clock (seconds since campaign start).
+  [[nodiscard]] double clock() const noexcept { return clock_; }
+  void set_clock(double t) noexcept { clock_ = t; }
+  void set_pps(double pps) noexcept { interval_ = 1.0 / pps; }
+
+  [[nodiscard]] topo::HostId source() const noexcept { return source_; }
+  [[nodiscard]] net::IPv4Address source_address() const noexcept {
+    return source_address_;
+  }
+
+  /// Probes sent / responses matched (diagnostics).
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t matched() const noexcept { return matched_; }
+  [[nodiscard]] std::uint64_t mismatched() const noexcept {
+    return mismatched_;
+  }
+
+ private:
+  [[nodiscard]] ProbeResult parse_response(
+      const ProbeSpec& spec, std::uint16_t seq, double send_time,
+      const sim::Network::Delivery& delivery);
+
+  sim::Network* network_;
+  topo::HostId source_;
+  net::IPv4Address source_address_;
+  std::uint16_t icmp_id_;
+  std::uint16_t next_seq_ = 1;
+  std::uint16_t next_udp_port_ = 0;
+  double clock_;
+  double interval_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t matched_ = 0;
+  std::uint64_t mismatched_ = 0;
+};
+
+}  // namespace rr::probe

@@ -1,0 +1,109 @@
+// Probe and response records — the prober's public vocabulary.
+//
+// A ProbeResult carries everything the measurement pipeline is allowed to
+// know: what was sent, what came back, and what the RR option / quoted
+// header contained. Simulator ground truth is never referenced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netbase/address.h"
+
+namespace rr::probe {
+
+enum class ProbeType : std::uint8_t {
+  kPing = 0,        // plain ICMP echo request
+  kPingRr = 1,      // echo request with a Record Route option
+  kPingRrUdp = 2,   // UDP to a high closed port with Record Route
+  kPingTs = 3,      // echo request with a Timestamp option (flag 1)
+};
+
+[[nodiscard]] const char* to_string(ProbeType type) noexcept;
+
+enum class ResponseKind : std::uint8_t {
+  kNone = 0,
+  kEchoReply = 1,
+  kTtlExceeded = 2,
+  kPortUnreachable = 3,
+};
+
+[[nodiscard]] const char* to_string(ResponseKind kind) noexcept;
+
+struct ProbeSpec {
+  net::IPv4Address target;
+  ProbeType type = ProbeType::kPing;
+  std::uint8_t ttl = 64;
+  int rr_slots = 9;  // used by the RR probe types
+
+  [[nodiscard]] static ProbeSpec ping(net::IPv4Address target) {
+    return {target, ProbeType::kPing, 64, 0};
+  }
+  [[nodiscard]] static ProbeSpec ping_rr(net::IPv4Address target,
+                                         std::uint8_t ttl = 64) {
+    return {target, ProbeType::kPingRr, ttl, 9};
+  }
+  [[nodiscard]] static ProbeSpec ping_rr_udp(net::IPv4Address target) {
+    return {target, ProbeType::kPingRrUdp, 64, 9};
+  }
+  [[nodiscard]] static ProbeSpec ping_ts(net::IPv4Address target) {
+    return {target, ProbeType::kPingTs, 64, 4};
+  }
+};
+
+struct ProbeResult {
+  net::IPv4Address target;
+  ProbeType type = ProbeType::kPing;
+  ResponseKind kind = ResponseKind::kNone;
+  net::IPv4Address responder;  // outer source of the response
+
+  /// Record Route data copied into the *reply* header (echo replies).
+  bool rr_option_in_reply = false;
+  std::vector<net::IPv4Address> rr_recorded;
+  int rr_free_slots = 0;
+
+  /// Timestamp-option data copied into the reply (ping-TS probes).
+  bool ts_option_in_reply = false;
+  std::vector<std::pair<net::IPv4Address, std::uint32_t>> ts_entries;
+  int ts_overflow = 0;
+
+  /// Record Route data recovered from the quoted datagram of an ICMP
+  /// error (Time Exceeded / Port Unreachable).
+  bool quoted_rr_present = false;
+  std::vector<net::IPv4Address> quoted_rr;
+  int quoted_rr_free_slots = 0;
+
+  std::uint16_t reply_ip_id = 0;  // IP-ID of the response (alias resolution)
+  double send_time = 0.0;
+  double rtt = -1.0;  // seconds; negative when unanswered
+
+  [[nodiscard]] bool responded() const noexcept {
+    return kind != ResponseKind::kNone;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One hop of a traceroute.
+struct TracerouteHop {
+  int ttl = 0;
+  bool responded = false;
+  net::IPv4Address address;            // responder (when responded)
+  ResponseKind kind = ResponseKind::kNone;
+};
+
+struct TracerouteResult {
+  net::IPv4Address target;
+  std::vector<TracerouteHop> hops;
+  bool reached = false;
+
+  /// Number of probing hops to the destination (TTL at which the echo
+  /// reply arrived); -1 when the destination was not reached.
+  [[nodiscard]] int hop_count() const noexcept {
+    return reached ? static_cast<int>(hops.size()) : -1;
+  }
+};
+
+}  // namespace rr::probe

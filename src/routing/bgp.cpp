@@ -1,0 +1,137 @@
+#include "routing/bgp.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace rr::route {
+
+namespace {
+constexpr int class_rank(RouteClass c) noexcept { return static_cast<int>(c); }
+}  // namespace
+
+std::vector<AsId> RouteTree::as_path_from(AsId src) const {
+  std::vector<AsId> path;
+  AsId current = src;
+  // Valley-free paths cannot exceed the AS count; use a small sane bound.
+  for (int guard = 0; guard < 64; ++guard) {
+    path.push_back(current);
+    if (current == destination_) return path;
+    const RouteEntry& entry = entries_[current];
+    if (!entry.reachable() || entry.next_hop == topo::kNoAs) return {};
+    current = entry.next_hop;
+  }
+  return {};  // loop guard tripped: treat as unreachable
+}
+
+BgpEngine::BgpEngine(std::shared_ptr<const topo::Topology> topology,
+                     Epoch epoch)
+    : topology_(std::move(topology)), epoch_(epoch) {
+  const std::size_t n = topology_->ases().size();
+  customers_.resize(n);
+  providers_.resize(n);
+  peers_.resize(n);
+  for (const auto& link : topology_->links()) {
+    if (!link.exists_in(epoch_)) continue;
+    if (link.kind == topo::LinkKind::kCustomerProvider) {
+      // link.a is the customer of link.b.
+      providers_[link.a].push_back(link.b);
+      customers_[link.b].push_back(link.a);
+    } else {
+      peers_[link.a].push_back(link.b);
+      peers_[link.b].push_back(link.a);
+    }
+  }
+  // Sorted adjacency gives deterministic tie-breaking everywhere below.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(customers_[i].begin(), customers_[i].end());
+    std::sort(providers_[i].begin(), providers_[i].end());
+    std::sort(peers_[i].begin(), peers_[i].end());
+  }
+}
+
+RouteTree BgpEngine::compute_tree(AsId destination) const {
+  const std::size_t n = topology_->ases().size();
+  std::vector<RouteEntry> entries(n);
+
+  // Phase 1 — customer routes: BFS from the destination along
+  // customer->provider edges. An AS X on such a chain learned the route
+  // from the customer below it.
+  std::vector<std::uint16_t> customer_dist(
+      n, std::numeric_limits<std::uint16_t>::max());
+  customer_dist[destination] = 0;
+  entries[destination] = RouteEntry{destination, 0, RouteClass::kSelf};
+  std::vector<AsId> frontier{destination};
+  std::uint16_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<AsId> next_frontier;
+    for (AsId below : frontier) {
+      for (AsId provider : providers_[below]) {
+        if (customer_dist[provider] != std::numeric_limits<std::uint16_t>::max()) {
+          continue;
+        }
+        customer_dist[provider] = level;
+        entries[provider] = RouteEntry{below, level, RouteClass::kCustomer};
+        next_frontier.push_back(provider);
+      }
+    }
+    std::sort(next_frontier.begin(), next_frontier.end());
+    frontier = std::move(next_frontier);
+  }
+
+  // Phase 2 — peer routes: one peer edge, then a customer chain down.
+  // Only ASes without a customer route take these.
+  for (AsId as = 0; as < n; ++as) {
+    if (class_rank(entries[as].route_class) <= class_rank(RouteClass::kCustomer)) continue;
+    RouteEntry best = entries[as];
+    for (AsId peer : peers_[as]) {
+      if (customer_dist[peer] == std::numeric_limits<std::uint16_t>::max()) {
+        continue;
+      }
+      const std::uint16_t len =
+          static_cast<std::uint16_t>(customer_dist[peer] + 1);
+      if (best.route_class != RouteClass::kPeer || len < best.length ||
+          (len == best.length && peer < best.next_hop)) {
+        best = RouteEntry{peer, len, RouteClass::kPeer};
+      }
+    }
+    entries[as] = best;
+  }
+
+  // Phase 3 — provider routes: Dijkstra over provider->customer edges,
+  // seeded by every AS that already selected a (customer/peer/self) route.
+  // An AS exports its selected route to its customers, so provider routes
+  // chain downward with unit cost per hop.
+  using HeapItem = std::tuple<std::uint16_t, AsId, AsId>;  // len, parent, as
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (AsId as = 0; as < n; ++as) {
+    if (entries[as].reachable()) {
+      for (AsId customer : customers_[as]) {
+        if (class_rank(entries[customer].route_class) <= class_rank(RouteClass::kPeer)) continue;
+        heap.emplace(static_cast<std::uint16_t>(entries[as].length + 1), as,
+                     customer);
+      }
+    }
+  }
+  while (!heap.empty()) {
+    const auto [len, parent, as] = heap.top();
+    heap.pop();
+    RouteEntry& entry = entries[as];
+    if (class_rank(entry.route_class) <= class_rank(RouteClass::kPeer)) continue;  // prefers better
+    if (entry.route_class == RouteClass::kProvider &&
+        (entry.length < len ||
+         (entry.length == len && entry.next_hop <= parent))) {
+      continue;  // already settled at least as well
+    }
+    entry = RouteEntry{parent, len, RouteClass::kProvider};
+    for (AsId customer : customers_[as]) {
+      if (class_rank(entries[customer].route_class) <= class_rank(RouteClass::kPeer)) continue;
+      heap.emplace(static_cast<std::uint16_t>(len + 1), as, customer);
+    }
+  }
+
+  return RouteTree{destination, std::move(entries)};
+}
+
+}  // namespace rr::route

@@ -1,0 +1,100 @@
+// Valley-free (Gao-Rexford) BGP route computation over the AS graph.
+//
+// Routes follow standard policy preferences: customer-learned routes beat
+// peer-learned routes beat provider-learned routes; within a class, shorter
+// AS paths win; remaining ties break to the lowest neighbour id so that
+// route selection is deterministic.
+//
+// A RouteTree holds, for one destination AS, every other AS's selected
+// next hop toward it — the simulated analogue of "what the BGP tables say
+// about reaching this prefix".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace rr::route {
+
+using topo::AsId;
+using topo::Epoch;
+
+enum class RouteClass : std::uint8_t {
+  kSelf = 0,      // the destination AS itself
+  kCustomer = 1,  // learned from a customer
+  kPeer = 2,      // learned from a peer
+  kProvider = 3,  // learned from a provider
+  kNone = 4,      // unreachable
+};
+
+struct RouteEntry {
+  AsId next_hop = topo::kNoAs;
+  std::uint16_t length = std::numeric_limits<std::uint16_t>::max();
+  RouteClass route_class = RouteClass::kNone;
+
+  [[nodiscard]] bool reachable() const noexcept {
+    return route_class != RouteClass::kNone;
+  }
+};
+
+/// All ASes' selected routes toward one destination AS.
+class RouteTree {
+ public:
+  RouteTree(AsId destination, std::vector<RouteEntry> entries)
+      : destination_(destination), entries_(std::move(entries)) {}
+
+  [[nodiscard]] AsId destination() const noexcept { return destination_; }
+  [[nodiscard]] const RouteEntry& entry(AsId as) const noexcept {
+    return entries_[as];
+  }
+  [[nodiscard]] bool reachable_from(AsId as) const noexcept {
+    return entries_[as].reachable();
+  }
+
+  /// AS path from `src` to the destination, inclusive on both ends.
+  /// Empty when unreachable.
+  [[nodiscard]] std::vector<AsId> as_path_from(AsId src) const;
+
+ private:
+  AsId destination_;
+  std::vector<RouteEntry> entries_;
+};
+
+/// Per-epoch BGP engine: owns the epoch-filtered adjacency and computes
+/// route trees.
+class BgpEngine {
+ public:
+  BgpEngine(std::shared_ptr<const topo::Topology> topology, Epoch epoch);
+
+  [[nodiscard]] Epoch epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const topo::Topology& topology() const noexcept {
+    return *topology_;
+  }
+
+  /// Computes the full route tree toward `destination` (uncached).
+  [[nodiscard]] RouteTree compute_tree(AsId destination) const;
+
+  /// Epoch-filtered adjacency, exposed for diagnostics/tests.
+  [[nodiscard]] const std::vector<AsId>& customers_of(AsId as) const noexcept {
+    return customers_[as];
+  }
+  [[nodiscard]] const std::vector<AsId>& providers_of(AsId as) const noexcept {
+    return providers_[as];
+  }
+  [[nodiscard]] const std::vector<AsId>& peers_of(AsId as) const noexcept {
+    return peers_[as];
+  }
+
+ private:
+  std::shared_ptr<const topo::Topology> topology_;
+  Epoch epoch_;
+  std::vector<std::vector<AsId>> customers_;  // as -> its customers
+  std::vector<std::vector<AsId>> providers_;  // as -> its providers
+  std::vector<std::vector<AsId>> peers_;      // as -> its peers
+};
+
+}  // namespace rr::route

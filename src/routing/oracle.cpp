@@ -1,0 +1,84 @@
+#include "routing/oracle.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace rr::route {
+
+RoutingOracle::RoutingOracle(std::shared_ptr<const topo::Topology> topology,
+                             Epoch epoch, std::vector<AsId> source_ases)
+    : engine_(std::move(topology), epoch), sources_(std::move(source_ases)) {
+  std::sort(sources_.begin(), sources_.end());
+  sources_.erase(std::unique(sources_.begin(), sources_.end()),
+                 sources_.end());
+  for (std::uint32_t i = 0; i < sources_.size(); ++i) {
+    source_index_.emplace(sources_[i], i);
+  }
+
+  const std::size_t n = engine_.topology().ases().size();
+  forward_offsets_.assign(sources_.size() * n, 0);
+  arena_.push_back(topo::kNoAs);  // slot 0 = unreachable sentinel
+
+  // Pin the trees toward each source (reverse-path service).
+  for (AsId src : sources_) {
+    pinned_.emplace(src,
+                    std::make_unique<RouteTree>(engine_.compute_tree(src)));
+  }
+
+  // One sweep: a tree per destination AS, extracting each source's path.
+  for (AsId dst = 0; dst < n; ++dst) {
+    const RouteTree tree = engine_.compute_tree(dst);
+    for (std::uint32_t si = 0; si < sources_.size(); ++si) {
+      const auto path = tree.as_path_from(sources_[si]);
+      if (path.empty()) continue;
+      forward_offsets_[si * n + dst] =
+          static_cast<std::uint32_t>(arena_.size());
+      arena_.push_back(static_cast<AsId>(path.size()));
+      arena_.insert(arena_.end(), path.begin(), path.end());
+    }
+  }
+  util::log_debug() << "routing oracle: " << sources_.size() << " sources, "
+                    << n << " destination trees, arena "
+                    << arena_.size() * sizeof(AsId) / 1024 << " KiB";
+}
+
+std::vector<AsId> RoutingOracle::as_path(AsId src, AsId dst) {
+  if (src == dst) return {src};
+
+  if (const auto it = source_index_.find(src); it != source_index_.end()) {
+    const std::size_t n = engine_.topology().ases().size();
+    const std::uint32_t offset = forward_offsets_[it->second * n + dst];
+    if (offset == 0) return {};
+    const AsId length = arena_[offset];
+    return {arena_.begin() + offset + 1,
+            arena_.begin() + offset + 1 + length};
+  }
+
+  if (const auto it = pinned_.find(dst); it != pinned_.end()) {
+    return it->second->as_path_from(src);
+  }
+
+  return fallback_tree(dst).as_path_from(src);
+}
+
+bool RoutingOracle::reachable(AsId src, AsId dst) {
+  return src == dst || !as_path(src, dst).empty();
+}
+
+const RouteTree& RoutingOracle::fallback_tree(AsId dst) {
+  if (const auto it = fallback_.find(dst); it != fallback_.end()) {
+    return *it->second;
+  }
+  if (fallback_order_.size() >= kFallbackCacheSize) {
+    fallback_.erase(fallback_order_.front());
+    fallback_order_.erase(fallback_order_.begin());
+  }
+  auto tree = std::make_unique<RouteTree>(engine_.compute_tree(dst));
+  const RouteTree& ref = *tree;
+  fallback_.emplace(dst, std::move(tree));
+  fallback_order_.push_back(dst);
+  return ref;
+}
+
+}  // namespace rr::route

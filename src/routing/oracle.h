@@ -1,0 +1,67 @@
+// RoutingOracle: efficient AS-path answers for a measurement study.
+//
+// A study has a small, known set of *source* ASes (vantage points, the
+// probe host, cloud providers) probing every destination AS, plus reverse
+// paths from arbitrary ASes back to those sources. The oracle therefore:
+//
+//  * precomputes, for every destination AS, the forward path from each
+//    source AS (one route-tree sweep over all destinations, with the paths
+//    stored compactly in an arena);
+//  * pins the route trees *toward* each source AS, so reverse paths from
+//    any AS back to a source are a cheap pointer walk;
+//  * falls back to an LRU of freshly computed trees for anything else.
+//
+// Forward/reverse asymmetry comes for free: the two directions consult
+// different trees.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/bgp.h"
+
+namespace rr::route {
+
+class RoutingOracle {
+ public:
+  /// `source_ases` are the ASes probes originate from (deduplicated
+  /// internally). Precomputation runs one tree per destination AS.
+  RoutingOracle(std::shared_ptr<const topo::Topology> topology, Epoch epoch,
+                std::vector<AsId> source_ases);
+
+  [[nodiscard]] const BgpEngine& engine() const noexcept { return engine_; }
+  [[nodiscard]] Epoch epoch() const noexcept { return engine_.epoch(); }
+
+  /// AS path from `src` to `dst`, inclusive; empty if unreachable.
+  /// O(1)+path-length for source-origin or source-destined queries;
+  /// falls back to tree computation (LRU-cached) otherwise.
+  [[nodiscard]] std::vector<AsId> as_path(AsId src, AsId dst);
+
+  /// True if `src` can reach `dst` at all under policy routing.
+  [[nodiscard]] bool reachable(AsId src, AsId dst);
+
+ private:
+  [[nodiscard]] const RouteTree& fallback_tree(AsId dst);
+
+  BgpEngine engine_;
+  std::vector<AsId> sources_;                      // sorted, unique
+  std::unordered_map<AsId, std::uint32_t> source_index_;
+
+  // Forward paths: arena[offsets[source_idx * num_as + dst]] .. length-
+  // prefixed sequences. Offset of 0 means "unreachable" (arena slot 0 is a
+  // sentinel).
+  std::vector<std::uint32_t> forward_offsets_;
+  std::vector<AsId> arena_;
+
+  // Pinned trees toward each source AS (for reverse paths).
+  std::unordered_map<AsId, std::unique_ptr<RouteTree>> pinned_;
+
+  // Small FIFO cache for everything else.
+  static constexpr std::size_t kFallbackCacheSize = 64;
+  std::unordered_map<AsId, std::unique_ptr<RouteTree>> fallback_;
+  std::vector<AsId> fallback_order_;
+};
+
+}  // namespace rr::route

@@ -1,0 +1,94 @@
+// Router-level path stitching.
+//
+// The BGP layer answers "which ASes does this packet traverse?"; the
+// stitcher expands that into the ordered list of routers, together with the
+// two addresses that matter to the measurement tools:
+//
+//  * `ingress`: the interface upstream hops identify the router by — what a
+//    traceroute from the packet's source sees;
+//  * `egress`: the outgoing interface, which is what the router writes into
+//    a Record Route slot (RFC 791). The RR/traceroute address mismatch the
+//    literature documents falls out of this distinction.
+//
+// Forward and reverse paths are stitched independently against the per-
+// direction route trees, so reply packets generally take a different router
+// path than the probe did.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "routing/oracle.h"
+#include "topology/topology.h"
+
+namespace rr::route {
+
+using topo::HostId;
+using topo::RouterId;
+
+struct PathHop {
+  RouterId router = topo::kNoRouter;
+  net::IPv4Address ingress;
+  net::IPv4Address egress;
+};
+
+class PathStitcher {
+ public:
+  PathStitcher(std::shared_ptr<const topo::Topology> topology,
+               RoutingOracle& oracle)
+      : topology_(std::move(topology)), oracle_(&oracle) {}
+
+  /// Stitches the router path from `src` to `dst` (hosts excluded) into
+  /// `out`. Returns false when BGP has no route.
+  bool host_path(HostId src, HostId dst, std::vector<PathHop>& out);
+
+  /// Path from a mid-network router toward a host (used for ICMP errors
+  /// generated in transit). The originating router itself is excluded.
+  bool router_path(RouterId src, HostId dst, std::vector<PathHop>& out);
+
+  /// Path from a host to a router interface (used when probing router
+  /// addresses directly, e.g. for alias resolution). The target router is
+  /// the final element of `out`.
+  bool host_to_router_path(HostId src, RouterId dst,
+                           std::vector<PathHop>& out);
+
+  /// Convenience allocating wrappers.
+  [[nodiscard]] std::optional<std::vector<PathHop>> host_path(HostId src,
+                                                              HostId dst);
+
+  [[nodiscard]] const topo::Topology& topology() const noexcept {
+    return *topology_;
+  }
+  [[nodiscard]] RoutingOracle& oracle() noexcept { return *oracle_; }
+
+ private:
+  /// Appends the routers strictly between `from` and `to` inside one AS
+  /// (a deterministic selection of the AS's core routers).
+  void append_intra(topo::AsId as, RouterId from, RouterId to,
+                    std::vector<RouterId>& seq) const;
+
+  /// Assembles the router id sequence; returns false if unroutable.
+  /// Exactly one of src_host/src_router and one of dst_host/dst_router
+  /// must be set.
+  bool assemble(std::optional<HostId> src_host,
+                std::optional<RouterId> src_router,
+                std::optional<HostId> dst_host,
+                std::optional<RouterId> dst_router,
+                std::vector<RouterId>& seq);
+
+  /// Converts a router sequence into hops with ingress/egress addresses.
+  void derive_addresses(const std::vector<RouterId>& seq, std::uint64_t
+                        dst_salt, std::optional<HostId> src,
+                        std::vector<PathHop>& out) const;
+
+  /// Deterministic non-loopback interface pick for intra-AS adjacency.
+  [[nodiscard]] net::IPv4Address pick_interface(RouterId router,
+                                                std::uint64_t salt) const;
+
+  std::shared_ptr<const topo::Topology> topology_;
+  RoutingOracle* oracle_;
+  std::vector<RouterId> scratch_;
+};
+
+}  // namespace rr::route

@@ -1,0 +1,343 @@
+#include "sim/network.h"
+
+#include "packet/datagram.h"
+#include "packet/mutate.h"
+
+namespace rr::sim {
+
+Network::Network(std::shared_ptr<const topo::Topology> topology,
+                 std::shared_ptr<const Behaviors> behaviors,
+                 route::RoutingOracle& oracle, NetParams params)
+    : topology_(std::move(topology)),
+      behaviors_(std::move(behaviors)),
+      stitcher_(topology_, oracle),
+      params_(params),
+      rng_(params.seed) {
+  router_ipid_count_.assign(topology_->routers().size(), 0);
+  host_ipid_count_.assign(topology_->hosts().size(), 0);
+}
+
+void Network::reset() {
+  for (auto& [id, bucket] : buckets_) bucket.reset();
+  rng_ = util::Rng{params_.seed};
+  counters_ = NetCounters{};
+}
+
+TokenBucket& Network::bucket_for(RouterId router) {
+  auto it = buckets_.find(router);
+  if (it == buckets_.end()) {
+    const RouterBehavior& b = behaviors_->router(router);
+    it = buckets_
+             .emplace(router, TokenBucket{b.options_rate_pps, b.options_burst})
+             .first;
+  }
+  return it->second;
+}
+
+std::uint16_t Network::next_ip_id(bool is_router, std::uint32_t id,
+                                  double now) {
+  const double velocity = is_router ? behaviors_->router_ipid_velocity(id)
+                                    : behaviors_->host_ipid_velocity(id);
+  std::uint32_t& count =
+      is_router ? router_ipid_count_[id] : host_ipid_count_[id];
+  const std::uint32_t base = static_cast<std::uint32_t>(
+      util::mix64((std::uint64_t{is_router} << 40) | id) & 0xffff);
+  ++count;
+  return static_cast<std::uint16_t>(
+      (base + count + static_cast<std::uint32_t>(velocity * now)) & 0xffff);
+}
+
+Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
+                                  const std::vector<route::PathHop>& hops,
+                                  double start, topo::AsId src_as,
+                                  topo::AsId dst_as) {
+  WalkResult result;
+  double now = start;
+  const bool has_options = pkt::has_ip_options(bytes);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    now += params_.hop_delay_s;
+    const RouterId router = hops[i].router;
+    const RouterBehavior& rb = behaviors_->router(router);
+    const topo::AsId as = topology_->router_at(router).as_id;
+    const AsBehavior& ab = behaviors_->as_behavior(as);
+
+    // Plain fast-path loss.
+    if (rng_.chance(behaviors_->params().base_loss)) {
+      ++counters_.dropped_loss;
+      return result;
+    }
+
+    if (has_options) {
+      // Slow path: the route processor sees this packet.
+      if (rng_.chance(behaviors_->params().options_extra_loss)) {
+        ++counters_.dropped_loss;
+        return result;
+      }
+      if (rb.options_rate_pps > 0.0f && !bucket_for(router).try_consume(now)) {
+        ++counters_.dropped_rate_limit;
+        return result;
+      }
+      const bool at_edge = (as == src_as) || (as == dst_as);
+      if (ab.filters_transit || (at_edge && ab.filters_edge)) {
+        ++counters_.dropped_filter;
+        return result;
+      }
+    }
+
+    // TTL handling (hidden routers forward without decrementing).
+    if (!rb.hidden) {
+      const auto ttl = pkt::decrement_ttl(bytes);
+      if (!ttl) {
+        ++counters_.dropped_ttl;
+        return result;  // malformed or already expired
+      }
+      if (*ttl == 0) {
+        result.outcome = WalkOutcome::kTtlExpired;
+        result.expired_hop = i;
+        result.time = now;
+        return result;
+      }
+    }
+
+    // Record Route / Timestamp stamping of the outgoing interface.
+    if (has_options && rb.stamps) {
+      pkt::rr_stamp(bytes, hops[i].egress);
+      pkt::ts_stamp(bytes, hops[i].egress,
+                    static_cast<std::uint32_t>(now * 1000.0));
+    }
+  }
+  result.outcome = WalkOutcome::kDelivered;
+  result.time = now + params_.hop_delay_s;  // final hop to the device
+  return result;
+}
+
+std::optional<HostId> Network::host_owning(net::IPv4Address addr) const {
+  const auto owner = topology_->owner_of(addr);
+  if (!owner || owner->kind != topo::AddressOwner::Kind::kHost) {
+    return std::nullopt;
+  }
+  return owner->id;
+}
+
+std::optional<Network::Delivery> Network::send(HostId src,
+                                               std::vector<std::uint8_t> bytes,
+                                               double time) {
+  ++counters_.sent;
+  const auto dst_addr = pkt::peek_destination(bytes);
+  if (!dst_addr) return std::nullopt;
+  const auto owner = topology_->owner_of(*dst_addr);
+  if (!owner) {
+    ++counters_.dropped_unroutable;
+    return std::nullopt;
+  }
+
+  // Responses chase the header's source address, which may be spoofed.
+  const auto src_addr = pkt::peek_source(bytes);
+  if (!src_addr) return std::nullopt;
+  const auto reply_to = host_owning(*src_addr);
+  if (!reply_to) {
+    ++counters_.dropped_unroutable;
+    return std::nullopt;
+  }
+
+  const topo::AsId src_as = topology_->host_at(src).as_id;
+  topo::AsId dst_as;
+  if (owner->kind == topo::AddressOwner::Kind::kHost) {
+    dst_as = topology_->host_at(owner->id).as_id;
+    if (!stitcher_.host_path(src, owner->id, fwd_hops_)) {
+      ++counters_.dropped_unroutable;
+      return std::nullopt;
+    }
+  } else {
+    dst_as = topology_->router_at(owner->id).as_id;
+    if (!stitcher_.host_to_router_path(src, owner->id, fwd_hops_)) {
+      ++counters_.dropped_unroutable;
+      return std::nullopt;
+    }
+    // The probed router is the final element; it answers rather than
+    // forwards, so exclude it from the forwarding walk.
+    if (!fwd_hops_.empty()) fwd_hops_.pop_back();
+  }
+
+  const auto fwd = walk(bytes, fwd_hops_, time, src_as, dst_as);
+  switch (fwd.outcome) {
+    case WalkOutcome::kDropped:
+      return std::nullopt;
+    case WalkOutcome::kTtlExpired: {
+      const auto& hop = fwd_hops_[fwd.expired_hop];
+      const RouterBehavior& rb = behaviors_->router(hop.router);
+      if (rb.anonymous) {
+        ++counters_.dropped_ttl;
+        return std::nullopt;
+      }
+      ++counters_.ttl_errors;
+      return emit_router_error(
+          hop.router, hop.ingress,
+          static_cast<std::uint8_t>(pkt::IcmpType::kTimeExceeded),
+          pkt::kCodeTtlExceededInTransit, bytes, *reply_to, fwd.time);
+    }
+    case WalkOutcome::kDelivered:
+      break;
+  }
+  ++counters_.delivered;
+
+  if (owner->kind == topo::AddressOwner::Kind::kHost) {
+    return host_respond(owner->id, *reply_to, bytes, fwd.time);
+  }
+  return router_respond(owner->id, *dst_addr, *reply_to, bytes, fwd.time);
+}
+
+std::optional<Network::Delivery> Network::emit_router_error(
+    RouterId router, net::IPv4Address from, std::uint8_t icmp_type,
+    std::uint8_t code, const std::vector<std::uint8_t>& offending,
+    HostId reply_to, double time) {
+  const auto probe_src = pkt::peek_source(offending);
+  if (!probe_src) return std::nullopt;
+
+  pkt::Datagram error;
+  error.header.source = from;
+  error.header.destination = *probe_src;
+  error.header.ttl = 64;
+  error.header.protocol = pkt::IpProto::kIcmp;
+  error.header.identification = next_ip_id(/*is_router=*/true, router, time);
+  error.payload = pkt::IcmpMessage::error(static_cast<pkt::IcmpType>(icmp_type),
+                                          code, offending,
+                                          params_.quoted_payload_bytes);
+  auto error_bytes = error.serialize();
+  if (!error_bytes) return std::nullopt;
+
+  // Route the error from the originating router back to the prober. The
+  // error itself carries no options, so edge filters leave it alone.
+  if (!stitcher_.router_path(router, reply_to, rev_hops_)) {
+    ++counters_.dropped_unroutable;
+    return std::nullopt;
+  }
+  const topo::AsId router_as = topology_->router_at(router).as_id;
+  const topo::AsId reply_as = topology_->host_at(reply_to).as_id;
+  return deliver_back(std::move(*error_bytes), rev_hops_, time, router_as,
+                      reply_as, reply_to);
+}
+
+std::optional<Network::Delivery> Network::host_respond(
+    HostId dst, HostId reply_to, const std::vector<std::uint8_t>& bytes,
+    double time) {
+  const HostBehavior& hb = behaviors_->host(dst);
+  const auto datagram = pkt::Datagram::parse(bytes);
+  if (!datagram) return std::nullopt;
+
+  // A host that ignores options packets ignores them for every transport.
+  const bool has_options = !datagram->header.options.empty();
+  if (has_options && hb.rr_handling == RrHandling::kDrop) return std::nullopt;
+
+  pkt::Datagram reply;
+  reply.header.destination = datagram->header.source;
+  reply.header.ttl = 64;
+  reply.header.identification = next_ip_id(/*is_router=*/false, dst, time);
+
+  if (const auto* icmp = datagram->icmp()) {
+    if (icmp->type != pkt::IcmpType::kEchoRequest) return std::nullopt;
+    if (!hb.ping_responsive) return std::nullopt;
+    reply.header.source = datagram->header.destination;
+    reply.header.protocol = pkt::IpProto::kIcmp;
+    reply.payload = pkt::IcmpMessage::echo_reply_for(*icmp->echo());
+    if (has_options && hb.rr_handling == RrHandling::kCopy) {
+      // RFC 1122 behaviour: the reply carries the request's Record Route
+      // option; the destination records itself if a slot remains (and some
+      // devices record an alias rather than the probed address).
+      reply.header.options = datagram->header.options;
+      if (auto* rr = reply.header.record_route();
+          rr != nullptr && hb.stamps_self) {
+        rr->stamp(hb.stamp_address);
+      }
+      if (auto* ts = pkt::find_timestamp(reply.header.options);
+          ts != nullptr && hb.stamps_self) {
+        ts->stamp(hb.stamp_address,
+                  static_cast<std::uint32_t>(time * 1000.0));
+      }
+    }
+    auto reply_bytes = reply.serialize();
+    if (!reply_bytes) return std::nullopt;
+    if (!stitcher_.host_path(dst, reply_to, rev_hops_)) {
+      ++counters_.dropped_unroutable;
+      return std::nullopt;
+    }
+    return deliver_back(std::move(*reply_bytes), rev_hops_, time,
+                        topology_->host_at(dst).as_id,
+                        topology_->host_at(reply_to).as_id, reply_to);
+  }
+
+  if (const auto* udp = datagram->udp()) {
+    (void)udp;  // every probed UDP port is closed in this world
+    if (!hb.ping_responsive || !hb.responds_udp) return std::nullopt;
+    ++counters_.port_unreachables;
+    // Port unreachable, quoting the datagram as it arrived — including any
+    // RR stamps it accrued on the forward path.
+    pkt::Datagram error;
+    error.header.source = datagram->header.destination;
+    error.header.destination = datagram->header.source;
+    error.header.ttl = 64;
+    error.header.protocol = pkt::IpProto::kIcmp;
+    error.header.identification = next_ip_id(false, dst, time);
+    error.payload = pkt::IcmpMessage::error(
+        pkt::IcmpType::kDestUnreachable, pkt::kCodePortUnreachable, bytes,
+        params_.quoted_payload_bytes);
+    auto error_bytes = error.serialize();
+    if (!error_bytes) return std::nullopt;
+    if (!stitcher_.host_path(dst, reply_to, rev_hops_)) {
+      ++counters_.dropped_unroutable;
+      return std::nullopt;
+    }
+    return deliver_back(std::move(*error_bytes), rev_hops_, time,
+                        topology_->host_at(dst).as_id,
+                        topology_->host_at(reply_to).as_id, reply_to);
+  }
+
+  return std::nullopt;
+}
+
+std::optional<Network::Delivery> Network::router_respond(
+    RouterId router, net::IPv4Address probed, HostId reply_to,
+    const std::vector<std::uint8_t>& bytes, double time) {
+  const RouterBehavior& rb = behaviors_->router(router);
+  if (!rb.responds_ping) return std::nullopt;
+  const auto datagram = pkt::Datagram::parse(bytes);
+  if (!datagram) return std::nullopt;
+  const auto* icmp = datagram->icmp();
+  if (!icmp || icmp->type != pkt::IcmpType::kEchoRequest) return std::nullopt;
+
+  pkt::Datagram reply;
+  reply.header.source = probed;
+  reply.header.destination = datagram->header.source;
+  reply.header.ttl = 64;
+  reply.header.protocol = pkt::IpProto::kIcmp;
+  reply.header.identification = next_ip_id(/*is_router=*/true, router, time);
+  reply.payload = pkt::IcmpMessage::echo_reply_for(*icmp->echo());
+  if (!datagram->header.options.empty() && rb.stamps) {
+    reply.header.options = datagram->header.options;
+    if (auto* rr = reply.header.record_route()) rr->stamp(probed);
+  }
+  auto reply_bytes = reply.serialize();
+  if (!reply_bytes) return std::nullopt;
+  if (!stitcher_.router_path(router, reply_to, rev_hops_)) {
+    ++counters_.dropped_unroutable;
+    return std::nullopt;
+  }
+  return deliver_back(std::move(*reply_bytes), rev_hops_, time,
+                      topology_->router_at(router).as_id,
+                      topology_->host_at(reply_to).as_id, reply_to);
+}
+
+std::optional<Network::Delivery> Network::deliver_back(
+    std::vector<std::uint8_t> bytes, const std::vector<route::PathHop>& hops,
+    double start, topo::AsId src_as, topo::AsId dst_as, HostId receiver) {
+  const auto result = walk(bytes, hops, start, src_as, dst_as);
+  if (result.outcome != WalkOutcome::kDelivered) {
+    // A reply that expires or is dropped on the way back simply never
+    // arrives; errors about errors are not generated (RFC 1122).
+    return std::nullopt;
+  }
+  ++counters_.responses;
+  return Delivery{std::move(bytes), result.time, receiver};
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,154 @@
+// The packet-level network simulator.
+//
+// Network::send() injects a serialized IPv4 datagram at a source host at a
+// virtual time and returns the response datagram (if any) exactly as the
+// probing host would capture it. In between, the packet is walked hop by
+// hop along the policy-routed forward path, each router applying its
+// behaviour to the real wire bytes:
+//
+//   * slow-path diversion for packets with IP options (rate limiting,
+//     AS edge/transit filtering),
+//   * TTL decrement (unless hidden) with Time-Exceeded generation
+//     (unless anonymous), quoting the packet *with its RR stamps so far*,
+//   * Record Route stamping of the outgoing interface,
+//   * random loss.
+//
+// Replies traverse the independently-routed reverse path with the same
+// treatment, which is how a ping-RR reply keeps recording hops on the way
+// back (the reverse-traceroute mechanism the paper builds on).
+//
+// Measurement code never sees simulator internals — only response bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/stitcher.h"
+#include "sim/behavior.h"
+#include "sim/token_bucket.h"
+#include "util/rng.h"
+
+namespace rr::sim {
+
+using topo::HostId;
+using topo::RouterId;
+
+struct NetParams {
+  std::uint64_t seed = 0x51C0FFEE;
+  double hop_delay_s = 0.0005;          // per router hop
+  std::size_t quoted_payload_bytes = 8;  // ICMP error quotation depth
+};
+
+/// Why a probe got no (useful) answer — simulator-side diagnostics used by
+/// tests and sanity benches, never by the measurement pipeline itself.
+struct NetCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;          // reached the final device
+  std::uint64_t responses = 0;          // any packet returned to the source
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_filter = 0;
+  std::uint64_t dropped_rate_limit = 0;
+  std::uint64_t dropped_ttl = 0;        // expired anonymously
+  std::uint64_t dropped_unroutable = 0;
+  std::uint64_t ttl_errors = 0;         // Time-Exceeded returned
+  std::uint64_t port_unreachables = 0;
+};
+
+class Network {
+ public:
+  Network(std::shared_ptr<const topo::Topology> topology,
+          std::shared_ptr<const Behaviors> behaviors,
+          route::RoutingOracle& oracle, NetParams params = {});
+
+  struct Delivery {
+    std::vector<std::uint8_t> bytes;
+    double time = 0.0;
+    /// Host that actually received the response. Equals the injecting host
+    /// unless the probe's header named another source (spoofing, as used
+    /// by Reverse Traceroute): responses always follow the *header*.
+    HostId receiver = topo::kNoHost;
+  };
+
+  /// Injects `bytes` (a full IPv4 datagram) from `src` at virtual time
+  /// `time` (seconds). Returns the response, delivered to whichever host
+  /// owns the datagram's source address, or nullopt if nothing comes back
+  /// (including when the named source is not a host).
+  std::optional<Delivery> send(HostId src, std::vector<std::uint8_t> bytes,
+                               double time);
+
+  /// Resets token buckets and the loss RNG (fresh measurement campaign).
+  void reset();
+
+  [[nodiscard]] const NetCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const topo::Topology& topology() const noexcept {
+    return *topology_;
+  }
+  [[nodiscard]] const Behaviors& behaviors() const noexcept {
+    return *behaviors_;
+  }
+  [[nodiscard]] route::PathStitcher& stitcher() noexcept { return stitcher_; }
+
+ private:
+  enum class WalkOutcome { kDelivered, kDropped, kTtlExpired };
+
+  struct WalkResult {
+    WalkOutcome outcome = WalkOutcome::kDropped;
+    std::size_t expired_hop = 0;  // valid when kTtlExpired
+    double time = 0.0;
+  };
+
+  /// Runs the per-hop pipeline over `hops`, mutating `bytes` in place.
+  WalkResult walk(std::vector<std::uint8_t>& bytes,
+                  const std::vector<route::PathHop>& hops, double start,
+                  topo::AsId src_as, topo::AsId dst_as);
+
+  /// Host owning an address, if any (responses are routed to it).
+  [[nodiscard]] std::optional<HostId> host_owning(
+      net::IPv4Address addr) const;
+
+  /// Builds + routes an ICMP error from a router back to `reply_to`.
+  std::optional<Delivery> emit_router_error(
+      RouterId router, net::IPv4Address from, std::uint8_t icmp_type,
+      std::uint8_t code, const std::vector<std::uint8_t>& offending,
+      HostId reply_to, double time);
+
+  /// Response from the destination host for an echo request / UDP probe.
+  std::optional<Delivery> host_respond(HostId dst, HostId reply_to,
+                                       const std::vector<std::uint8_t>& bytes,
+                                       double time);
+
+  /// Response from a directly probed router interface.
+  std::optional<Delivery> router_respond(
+      RouterId router, net::IPv4Address probed, HostId reply_to,
+      const std::vector<std::uint8_t>& bytes, double time);
+
+  /// Walks a response along the reverse path to `receiver`.
+  std::optional<Delivery> deliver_back(std::vector<std::uint8_t> bytes,
+                                       const std::vector<route::PathHop>& hops,
+                                       double start, topo::AsId src_as,
+                                       topo::AsId dst_as, HostId receiver);
+
+  [[nodiscard]] std::uint16_t next_ip_id(bool is_router, std::uint32_t id,
+                                         double now);
+
+  TokenBucket& bucket_for(RouterId router);
+
+  std::shared_ptr<const topo::Topology> topology_;
+  std::shared_ptr<const Behaviors> behaviors_;
+  route::PathStitcher stitcher_;
+  NetParams params_;
+  util::Rng rng_;
+  NetCounters counters_;
+  std::unordered_map<RouterId, TokenBucket> buckets_;
+  std::vector<std::uint32_t> router_ipid_count_;
+  std::vector<std::uint32_t> host_ipid_count_;
+  std::vector<route::PathHop> fwd_hops_;
+  std::vector<route::PathHop> rev_hops_;
+};
+
+}  // namespace rr::sim

@@ -1,0 +1,106 @@
+#include "topology/topology.h"
+
+#include "util/strings.h"
+
+namespace rr::topo {
+
+const char* to_string(AsType type) noexcept {
+  switch (type) {
+    case AsType::kTransitAccess: return "Transit/Access";
+    case AsType::kEnterprise: return "Enterprise";
+    case AsType::kContent: return "Content";
+    case AsType::kUnknown: return "Unknown";
+  }
+  return "?";
+}
+
+const char* to_string(Platform platform) noexcept {
+  switch (platform) {
+    case Platform::kPlanetLab: return "PlanetLab";
+    case Platform::kMLab: return "M-Lab";
+    case Platform::kProbeHost: return "ProbeHost";
+    case Platform::kCloud: return "Cloud";
+  }
+  return "?";
+}
+
+std::vector<const VantagePoint*> Topology::vantage_points_in(
+    Epoch epoch) const {
+  std::vector<const VantagePoint*> out;
+  for (const auto& vp : vantage_points_) {
+    const bool exists =
+        epoch == Epoch::k2011 ? vp.exists_in_2011 : vp.exists_in_2016;
+    if (exists) out.push_back(&vp);
+  }
+  return out;
+}
+
+std::optional<AsId> Topology::as_of_address(
+    net::IPv4Address addr) const noexcept {
+  const AsId* found = address_to_as_.lookup(addr);
+  if (!found) return std::nullopt;
+  return *found;
+}
+
+std::optional<AddressOwner> Topology::owner_of(
+    net::IPv4Address addr) const noexcept {
+  const auto it = owner_by_address_.find(addr.value());
+  if (it == owner_by_address_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<net::IPv4Address> Topology::aliases_of(
+    net::IPv4Address addr) const {
+  const auto owner = owner_of(addr);
+  if (!owner) return {};
+  if (owner->kind == AddressOwner::Kind::kRouter) {
+    return routers_[owner->id].interfaces;
+  }
+  const Host& host = hosts_[owner->id];
+  std::vector<net::IPv4Address> out;
+  out.reserve(1 + host.aliases.size());
+  out.push_back(host.address);
+  out.insert(out.end(), host.aliases.begin(), host.aliases.end());
+  return out;
+}
+
+std::optional<LinkId> Topology::link_between(AsId a, AsId b) const noexcept {
+  const auto it = link_by_pair_.find(pair_key(a, b));
+  if (it == link_by_pair_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<HostId> Topology::host_by_address(
+    net::IPv4Address addr) const noexcept {
+  const auto owner = owner_of(addr);
+  if (!owner || owner->kind != AddressOwner::Kind::kHost) return std::nullopt;
+  return owner->id;
+}
+
+std::span<const RouterId> Topology::access_chain(
+    RouterId access_router) const noexcept {
+  const auto it = access_chain_.find(access_router);
+  if (it == access_chain_.end()) return {};
+  return it->second;
+}
+
+std::string Topology::summary() const {
+  std::size_t peering = 0;
+  std::size_t links2011 = 0;
+  for (const auto& link : links_) {
+    if (link.kind == LinkKind::kPeerPeer) ++peering;
+    if (link.exists_in_2011) ++links2011;
+  }
+  std::string out;
+  out += "ASes: " + util::with_commas(ases_.size());
+  out += ", routers: " + util::with_commas(routers_.size());
+  out += ", hosts: " + util::with_commas(hosts_.size());
+  out += ", destination prefixes: " + util::with_commas(destinations_.size());
+  out += ", links: " + util::with_commas(links_.size());
+  out += " (" + util::with_commas(peering) + " peering, ";
+  out += util::with_commas(links2011) + " present in 2011)";
+  out += ", VPs: " + util::with_commas(vantage_points_.size());
+  return out;
+}
+
+}  // namespace rr::topo

@@ -1,0 +1,135 @@
+// The generated Internet: ASes, routers, hosts, links, vantage points,
+// cloud providers, and the address plan tying them together.
+//
+// Topology is immutable after generation. Routing (src/routing) computes
+// paths over it per epoch; the simulator (src/sim) adds per-device
+// behaviour on top.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/lpm_trie.h"
+#include "topology/types.h"
+
+namespace rr::topo {
+
+/// Who owns an IP address: a router interface or an end-host device.
+struct AddressOwner {
+  enum class Kind : std::uint8_t { kRouter, kHost } kind = Kind::kRouter;
+  std::uint32_t id = 0;  // RouterId or HostId
+
+  [[nodiscard]] bool operator==(const AddressOwner&) const = default;
+};
+
+class Topology {
+ public:
+  // ------------------------------------------------------------- accessors
+  [[nodiscard]] std::span<const AsInfo> ases() const noexcept { return ases_; }
+  [[nodiscard]] std::span<const Router> routers() const noexcept {
+    return routers_;
+  }
+  [[nodiscard]] std::span<const Host> hosts() const noexcept { return hosts_; }
+  [[nodiscard]] std::span<const AsLink> links() const noexcept {
+    return links_;
+  }
+  [[nodiscard]] std::span<const VantagePoint> vantage_points() const noexcept {
+    return vantage_points_;
+  }
+  [[nodiscard]] std::span<const CloudProvider> clouds() const noexcept {
+    return clouds_;
+  }
+
+  [[nodiscard]] const AsInfo& as_at(AsId id) const noexcept {
+    return ases_[id];
+  }
+  [[nodiscard]] const Router& router_at(RouterId id) const noexcept {
+    return routers_[id];
+  }
+  [[nodiscard]] const Host& host_at(HostId id) const noexcept {
+    return hosts_[id];
+  }
+  [[nodiscard]] const AsLink& link_at(LinkId id) const noexcept {
+    return links_[id];
+  }
+
+  /// The single machine used for the plain-ping study (USC in the paper).
+  [[nodiscard]] HostId probe_host() const noexcept { return probe_host_; }
+
+  /// Destination hosts only (one per advertised prefix), excluding VP and
+  /// infrastructure hosts.
+  [[nodiscard]] std::span<const HostId> destinations() const noexcept {
+    return destinations_;
+  }
+
+  /// Vantage points available in a given epoch.
+  [[nodiscard]] std::vector<const VantagePoint*> vantage_points_in(
+      Epoch epoch) const;
+
+  // ------------------------------------------------------ address services
+  /// AS owning an address, via longest-prefix match over advertised +
+  /// infrastructure blocks (this is what AS-path extraction from RR or
+  /// traceroute data uses).
+  [[nodiscard]] std::optional<AsId> as_of_address(
+      net::IPv4Address addr) const noexcept;
+
+  /// Device-level owner (exact match), for the simulator and for alias
+  /// ground truth. Nullopt for addresses that were never assigned.
+  [[nodiscard]] std::optional<AddressOwner> owner_of(
+      net::IPv4Address addr) const noexcept;
+
+  /// Ground-truth alias set (all addresses of the owning device),
+  /// or empty if the address is unassigned.
+  [[nodiscard]] std::vector<net::IPv4Address> aliases_of(
+      net::IPv4Address addr) const;
+
+  /// The inter-AS link between two ASes, if adjacent (at most one link per
+  /// AS pair is generated).
+  [[nodiscard]] std::optional<LinkId> link_between(AsId a,
+                                                   AsId b) const noexcept;
+
+  /// Host owning an exact address, if any.
+  [[nodiscard]] std::optional<HostId> host_by_address(
+      net::IPv4Address addr) const noexcept;
+
+  /// Routers between an AS's core and an access router (inclusive on both
+  /// ends: chain[0] is the core router the chain hangs off; chain.back() is
+  /// the access router itself). Used by router-level path stitching.
+  [[nodiscard]] std::span<const RouterId> access_chain(
+      RouterId access_router) const noexcept;
+
+  // ------------------------------------------------------------ statistics
+  [[nodiscard]] std::size_t num_destination_prefixes() const noexcept {
+    return destinations_.size();
+  }
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  friend class Generator;
+
+  static std::uint64_t pair_key(AsId a, AsId b) noexcept {
+    const AsId lo = a < b ? a : b;
+    const AsId hi = a < b ? b : a;
+    return (std::uint64_t{lo} << 32) | hi;
+  }
+
+  std::vector<AsInfo> ases_;
+  std::vector<Router> routers_;
+  std::vector<Host> hosts_;
+  std::vector<AsLink> links_;
+  std::vector<VantagePoint> vantage_points_;
+  std::vector<CloudProvider> clouds_;
+  std::vector<HostId> destinations_;
+  HostId probe_host_ = kNoHost;
+
+  net::LpmTrie<AsId> address_to_as_;
+  std::unordered_map<std::uint32_t, AddressOwner> owner_by_address_;
+  std::unordered_map<std::uint64_t, LinkId> link_by_pair_;
+  std::unordered_map<RouterId, std::vector<RouterId>> access_chain_;
+};
+
+}  // namespace rr::topo

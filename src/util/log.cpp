@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rr::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+constexpr const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace rr::util

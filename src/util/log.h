@@ -1,0 +1,59 @@
+// Minimal leveled logger for harness/bench progress output.
+//
+// The library itself never logs on hot paths; logging is for experiment
+// drivers. Output goes to stderr so that table/figure data on stdout stays
+// machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one formatted line ("[level] message") to stderr if enabled.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+/// Stream-style one-line logger; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogMessage log_debug() {
+  return detail::LogMessage{LogLevel::kDebug};
+}
+[[nodiscard]] inline detail::LogMessage log_info() {
+  return detail::LogMessage{LogLevel::kInfo};
+}
+[[nodiscard]] inline detail::LogMessage log_warn() {
+  return detail::LogMessage{LogLevel::kWarn};
+}
+[[nodiscard]] inline detail::LogMessage log_error() {
+  return detail::LogMessage{LogLevel::kError};
+}
+
+}  // namespace rr::util

@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation for reproducible
+// measurement simulations.
+//
+// Everything in rropt that needs randomness draws from an Rng seeded from a
+// single experiment seed, so a whole study (topology generation, behaviour
+// assignment, probe ordering) replays bit-for-bit. The generator is
+// xoshiro256** (public domain, Blackman & Vigna), seeded via splitmix64 so
+// that nearby seeds still produce uncorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace rr::util {
+
+/// splitmix64 step: used for seeding and for cheap stateless hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of a value (one splitmix64 round).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t value) noexcept;
+
+/// Deterministic xoshiro256** generator.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can be
+/// used with <random> distributions as well as with the convenience methods
+/// below (which are preferred: they are stable across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64 bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Exponentially distributed double with the given mean (> 0).
+  [[nodiscard]] double next_exponential(double mean) noexcept;
+
+  /// Approximately normal draw (sum of uniforms; adequate for jitter).
+  [[nodiscard]] double next_normal(double mean, double stddev) noexcept;
+
+  /// Geometric-ish small count: number of successes before failure, capped.
+  [[nodiscard]] int next_geometric(double continue_prob, int cap) noexcept;
+
+  /// Derives an independent child generator from this one plus a label.
+  /// Children with distinct labels have uncorrelated streams, and forking
+  /// does not perturb the parent's sequence position relative to replays
+  /// with the same fork structure.
+  [[nodiscard]] Rng fork(std::string_view label) noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element (by reference). Requires non-empty.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) noexcept {
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+  /// Weighted index selection: returns i with probability
+  /// weights[i] / sum(weights). Requires a positive total weight.
+  [[nodiscard]] std::size_t pick_weighted(
+      const std::vector<double>& weights) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Hashes a string to 64 bits (FNV-1a folded through mix64); used to derive
+/// labelled child seeds.
+[[nodiscard]] std::uint64_t hash_label(std::string_view label) noexcept;
+
+}  // namespace rr::util

@@ -1,0 +1,68 @@
+#include "util/strings.h"
+
+#include <cstdio>
+
+namespace rr::util {
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string percent(double ratio, int decimals) {
+  return fixed(ratio * 100.0, decimals) + "%";
+}
+
+std::string fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out.append(separator);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string{text.substr(0, width)};
+  std::string out(width - text.size(), ' ');
+  out.append(text);
+  return out;
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string{text.substr(0, width)};
+  std::string out{text};
+  out.append(width - text.size(), ' ');
+  return out;
+}
+
+}  // namespace rr::util

@@ -1,0 +1,32 @@
+// Small string helpers shared by the analysis/report layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rr::util {
+
+/// Formats `value` with thousands separators: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Formats a ratio as a percentage with the given precision: 0.754 -> "75%".
+[[nodiscard]] std::string percent(double ratio, int decimals = 0);
+
+/// Formats a double with fixed decimals.
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Splits on a delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view separator);
+
+/// Left/right padding to a fixed width (truncates if longer).
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace rr::util

@@ -1,0 +1,116 @@
+// Tests for the analysis layer: CDFs, tables, figure series.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "analysis/cdf.h"
+#include "analysis/series.h"
+#include "analysis/table.h"
+
+namespace rr::analysis {
+namespace {
+
+TEST(Cdf, FractionAtOrBelow) {
+  const Cdf cdf{{1, 2, 2, 3, 10}};
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(9.99), 0.8);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10), 1.0);
+}
+
+TEST(Cdf, HandlesInfinitySamples) {
+  // Unreachable destinations enter at +inf; the CDF then never reaches 1
+  // on the finite axis — exactly how Figure 1 tops out at 0.66.
+  const Cdf cdf{{1, 2, std::numeric_limits<double>::infinity()}};
+  EXPECT_NEAR(cdf.fraction_at_or_below(9), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cdf, EmptyCdfIsSafe) {
+  const Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at_quantile(0.5), 0.0);
+}
+
+TEST(Cdf, QuantilesAndStats) {
+  Cdf cdf{{5, 1, 3, 2, 4}};
+  EXPECT_DOUBLE_EQ(cdf.min(), 1);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 3);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3);
+  EXPECT_DOUBLE_EQ(cdf.value_at_quantile(0.0), 1);
+  EXPECT_DOUBLE_EQ(cdf.value_at_quantile(1.0), 5);
+}
+
+TEST(Cdf, AddKeepsSorted) {
+  Cdf cdf;
+  cdf.add(5);
+  cdf.add(1);
+  cdf.add(3);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2), 1.0 / 3.0);
+}
+
+TEST(Cdf, IntegerPointsGrid) {
+  const Cdf cdf{{1, 3, 3, 9}};
+  const auto points = cdf.integer_points(1, 9);
+  ASSERT_EQ(points.size(), 9u);
+  EXPECT_EQ(points.front().first, 1);
+  EXPECT_DOUBLE_EQ(points.front().second, 0.25);
+  EXPECT_DOUBLE_EQ(points[2].second, 0.75);  // x = 3
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "count"});
+  table.add_row({"alpha", "12"});
+  table.add_row({"b", "1,234"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("1,234"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  // Every row ends with a newline and rows have equal width.
+  std::istringstream in(text);
+  std::string line1, line2, line3, line4;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  std::getline(in, line3);
+  std::getline(in, line4);
+  EXPECT_EQ(line3.size(), line4.size());
+}
+
+TEST(TextTable, CountCell) {
+  EXPECT_EQ(count_cell(510305, 1.0), "510,305 (100%)");
+  EXPECT_EQ(count_cell(296734, 0.58), "296,734 (58%)");
+}
+
+TEST(FigureData, PrintsSeriesBlocks) {
+  FigureData figure("test", "x", "y");
+  auto& s = figure.add_series("curve-a");
+  s.add(1, 0.5);
+  s.add(2, 1.0);
+  figure.add_series("curve-b").add(1, 0.25);
+  std::ostringstream out;
+  figure.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# series: curve-a"), std::string::npos);
+  EXPECT_NE(text.find("# series: curve-b"), std::string::npos);
+  EXPECT_NE(text.find("2.000 1.0000"), std::string::npos);
+}
+
+TEST(FigureData, WritesCsv) {
+  FigureData figure("test", "x", "y");
+  figure.add_series("a").add(1, 0.5);
+  figure.add_series("b").add(2, 0.75);
+  const std::string path = "/tmp/rropt_test_figure.csv";
+  ASSERT_TRUE(figure.write_csv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,a,b");
+}
+
+}  // namespace
+}  // namespace rr::analysis

@@ -1,0 +1,224 @@
+// End-to-end integration: the full bench pipeline at miniature scale —
+// both epochs, every study, consistency across them. This is the "does the
+// whole paper reproduce on a toy world" test.
+#include <gtest/gtest.h>
+
+#include "measure/as_stamping.h"
+#include "measure/campaign.h"
+#include "measure/classify.h"
+#include "measure/cloud.h"
+#include "measure/midar.h"
+#include "measure/ratelimit.h"
+#include "measure/reachability.h"
+#include "measure/reclassify.h"
+#include "measure/testbed.h"
+#include "measure/ttl_study.h"
+
+namespace rr::measure {
+namespace {
+
+class FullPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TestbedConfig config;
+    config.topo_params = topo::TopologyParams::test_scale();
+    config.topo_params.num_ases = 200;
+    config.topo_params.colo_fraction = 0.3;
+    config.topo_params.mlab_sites_2016 = 12;
+    config.topo_params.planetlab_sites_2016 = 8;
+    config.topo_params.seed = 808;
+    testbed16_ = new Testbed{config};
+    campaign16_ = new Campaign{Campaign::run(*testbed16_)};
+
+    TestbedConfig config11 = config;
+    config11.epoch = topo::Epoch::k2011;
+    testbed11_ = new Testbed{testbed16_->topology_ptr(),
+                             testbed16_->behaviors_ptr(), config11};
+    campaign11_ = new Campaign{Campaign::run(*testbed11_)};
+  }
+  static void TearDownTestSuite() {
+    delete campaign11_;
+    delete testbed11_;
+    delete campaign16_;
+    delete testbed16_;
+  }
+
+  static Testbed* testbed16_;
+  static Campaign* campaign16_;
+  static Testbed* testbed11_;
+  static Campaign* campaign11_;
+};
+
+Testbed* FullPipeline::testbed16_ = nullptr;
+Campaign* FullPipeline::campaign16_ = nullptr;
+Testbed* FullPipeline::testbed11_ = nullptr;
+Campaign* FullPipeline::campaign11_ = nullptr;
+
+TEST_F(FullPipeline, Table1ShapeHolds) {
+  const auto table = build_response_table(*campaign16_);
+  EXPECT_GT(table.by_ip[0].ping_rate(), 0.55);
+  EXPECT_GT(table.by_ip[0].rr_over_ping(), 0.5);
+  EXPECT_GT(table.by_as[0].rr_over_ping(), table.by_ip[0].rr_over_ping());
+}
+
+TEST_F(FullPipeline, Figure1ShapeHolds) {
+  const auto responsive = campaign16_->rr_responsive_indices();
+  std::vector<std::size_t> all(campaign16_->num_vps());
+  for (std::size_t v = 0; v < all.size(); ++v) all[v] = v;
+  const auto cdf = closest_vp_distance_cdf(*campaign16_, all, responsive);
+  const double within9 = cdf.fraction_at_or_below(9);
+  EXPECT_GT(within9, 0.3);
+  EXPECT_LT(within9, 1.0);
+  EXPECT_LE(cdf.fraction_at_or_below(5), within9);
+}
+
+TEST_F(FullPipeline, Figure2DirectionHolds) {
+  // Same world, same devices: the 2016 epoch must reach more.
+  std::vector<std::size_t> vps16(campaign16_->num_vps());
+  std::vector<std::size_t> vps11(campaign11_->num_vps());
+  for (std::size_t v = 0; v < vps16.size(); ++v) vps16[v] = v;
+  for (std::size_t v = 0; v < vps11.size(); ++v) vps11[v] = v;
+  const double frac16 = fraction_within(
+      *campaign16_, vps16, campaign16_->rr_responsive_indices(), 9);
+  const double frac11 = fraction_within(
+      *campaign11_, vps11, campaign11_->rr_responsive_indices(), 9);
+  EXPECT_GT(frac16, frac11 + 0.05);
+}
+
+TEST_F(FullPipeline, ResponsivenessIsEpochInvariant) {
+  // RR-responsiveness is a property of devices and edge policy, not of
+  // path lengths — the two campaigns must agree on it almost everywhere
+  // (modulo rare on-path filters and loss).
+  std::size_t both = 0, only16 = 0, only11 = 0;
+  for (std::size_t d = 0; d < campaign16_->num_destinations(); ++d) {
+    const bool r16 = campaign16_->rr_responsive(d);
+    const bool r11 = campaign11_->rr_responsive(d);
+    if (r16 && r11) ++both;
+    if (r16 && !r11) ++only16;
+    if (!r16 && r11) ++only11;
+  }
+  EXPECT_GT(both, 0u);
+  EXPECT_LT(only16 + only11, both / 5 + 10);
+}
+
+TEST_F(FullPipeline, ReclassifyFindsTheInjectedFalseNegatives) {
+  auto prober = testbed16_->make_prober(testbed16_->vps().front()->host,
+                                        500.0);
+  MidarConfig midar_config;
+  midar_config.shard_size = 256;
+  const auto aliases = run_midar(
+      prober, midar_candidate_addresses(*campaign16_), midar_config);
+  const auto result = reclassify(*testbed16_, *campaign16_, aliases);
+
+  // Ground-truth audit of each recovery.
+  const auto& behaviors = testbed16_->behaviors();
+  for (std::size_t d : result.via_alias) {
+    const auto host_id = campaign16_->destinations()[d];
+    const auto& hb = behaviors.host(host_id);
+    EXPECT_NE(hb.stamp_address,
+              campaign16_->topology().host_at(host_id).address)
+        << "alias recovery for a destination that stamps its own address";
+  }
+  for (std::size_t d : result.via_quoted) {
+    const auto host_id = campaign16_->destinations()[d];
+    const auto& hb = behaviors.host(host_id);
+    // Quoted recovery proves in-range arrival; the destination either
+    // doesn't stamp at all or stamps an alias we failed to resolve.
+    EXPECT_TRUE(!hb.stamps_self ||
+                hb.stamp_address !=
+                    campaign16_->topology().host_at(host_id).address);
+  }
+}
+
+TEST_F(FullPipeline, AsStampingAuditMatchesGroundTruthPolicies) {
+  AsStampingConfig config;
+  config.max_dests_per_vp = 80;
+  const auto result = audit_as_stamping(*testbed16_, *campaign16_, config);
+  ASSERT_GT(result.pairs_compared, 0u);
+
+  const auto& behaviors = testbed16_->behaviors();
+  for (const auto& [as, tally] : result.per_as) {
+    const auto policy = behaviors.as_behavior(as).stamping;
+    if (tally.seen_in_both == 0 && tally.seen_in_traceroute >= 3) {
+      // An AS consistently missing from RR should really be a non-stamper.
+      EXPECT_NE(policy, sim::StampPolicy::kAlways)
+          << "AS " << as << " audited as never-stamping but policy says "
+          << "always";
+    }
+    if (policy == sim::StampPolicy::kNever) {
+      EXPECT_EQ(tally.seen_in_both, 0u);
+    }
+  }
+}
+
+TEST_F(FullPipeline, RateLimitStudyFlagsOnlyStrictVps) {
+  RateLimitConfig config;
+  config.sample_size = 400;
+  const auto result = rate_limit_study(*testbed16_, *campaign16_, config);
+  const auto& strict = testbed16_->behaviors().strict_limited_vp_indices();
+  // Map strict VP topology indices to campaign indices.
+  std::vector<std::size_t> strict_campaign;
+  const auto all_vps = testbed16_->topology().vantage_points();
+  for (std::size_t idx : strict) {
+    for (std::size_t v = 0; v < campaign16_->num_vps(); ++v) {
+      if (campaign16_->vps()[v] == &all_vps[idx]) {
+        strict_campaign.push_back(v);
+      }
+    }
+  }
+  for (const auto& row : result.rows) {
+    if (row.drop_fraction() > 0.4) {
+      EXPECT_NE(std::find(strict_campaign.begin(), strict_campaign.end(),
+                          row.vp_index),
+                strict_campaign.end())
+          << "VP " << row.vp_index
+          << " collapsed at 100pps without a strict limiter";
+    }
+  }
+}
+
+TEST_F(FullPipeline, TtlStudyCurvesAreOrdered) {
+  TtlStudyConfig config;
+  config.per_vp_per_class = 60;
+  const auto result = ttl_study(*testbed16_, *campaign16_, config);
+  const auto* low = result.row_for(4);
+  const auto* mid = result.row_for(12);
+  const auto* high = result.row_for(64);
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(high, nullptr);
+  // Near-destination reply rate increases with TTL.
+  EXPECT_LE(low->near_reply_rate(), mid->near_reply_rate() + 0.1);
+  EXPECT_LE(mid->near_reply_rate(), high->near_reply_rate() + 0.1);
+  // The far curve sits below the near curve at the default TTL's level of
+  // the near curve... at every TTL below ~12 the near set answers more.
+  if (mid->far_sent > 20) {
+    EXPECT_GE(mid->near_reply_rate() + 0.15, mid->far_reply_rate());
+  }
+}
+
+TEST_F(FullPipeline, CloudStudyShowsCloudsCloserThanMlab) {
+  CloudStudyConfig config;
+  config.max_reachable_dests = 150;
+  config.max_responsive_dests = 150;
+  const auto result = cloud_study(*testbed16_, *campaign16_, config);
+  ASSERT_FALSE(result.providers.empty());
+  ASSERT_FALSE(result.mlab_to_reachable.empty());
+  // The best-connected provider (GCE in the paper) peers so broadly that
+  // its distances beat or match M-Lab's; the others are in the same
+  // ballpark (the paper, too, found EC2/Softlayer notably worse).
+  const auto& best = result.providers.front();
+  if (!best.to_reachable.empty()) {
+    EXPECT_LE(best.to_reachable.median(),
+              result.mlab_to_reachable.median() + 1.0);
+  }
+  for (const auto& provider : result.providers) {
+    if (provider.to_reachable.empty()) continue;
+    EXPECT_LE(provider.to_reachable.median(),
+              result.mlab_to_reachable.median() + 4.0)
+        << provider.name;
+  }
+}
+
+}  // namespace
+}  // namespace rr::measure

@@ -1,0 +1,188 @@
+// Parameterized measurement-pipeline properties across seeds: campaign
+// invariants, classification consistency, reachability monotonicity, and
+// cross-checks between the measurement-side inferences and simulator
+// ground truth (used only to validate, never to measure).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "measure/campaign.h"
+#include "measure/classify.h"
+#include "measure/reachability.h"
+#include "measure/reclassify.h"
+#include "measure/testbed.h"
+
+namespace rr::measure {
+namespace {
+
+class CampaignWorld : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    TestbedConfig config;
+    config.topo_params = topo::TopologyParams::test_scale();
+    config.topo_params.seed = GetParam();
+    testbed_ = std::make_unique<Testbed>(config);
+    CampaignConfig campaign_config;
+    campaign_config.destination_stride = 2;  // every other prefix: faster
+    campaign_ = std::make_unique<Campaign>(
+        Campaign::run(*testbed_, campaign_config));
+  }
+  std::unique_ptr<Testbed> testbed_;
+  std::unique_ptr<Campaign> campaign_;
+};
+
+TEST_P(CampaignWorld, ReachableImpliesResponsiveImpliesObserved) {
+  for (std::size_t d = 0; d < campaign_->num_destinations(); ++d) {
+    if (campaign_->rr_reachable(d)) {
+      EXPECT_TRUE(campaign_->rr_responsive(d));
+    }
+    for (std::size_t v = 0; v < campaign_->num_vps(); ++v) {
+      const auto& obs = campaign_->at(v, d);
+      if (obs.rr_responsive()) {
+        EXPECT_TRUE(obs.responded());
+      }
+      if (obs.rr_reachable()) {
+        EXPECT_GE(obs.stamp_count, obs.dest_slot);
+      }
+    }
+  }
+}
+
+TEST_P(CampaignWorld, StampAccountingNeverExceedsNineSlots) {
+  for (std::size_t v = 0; v < campaign_->num_vps(); ++v) {
+    for (std::size_t d = 0; d < campaign_->num_destinations(); ++d) {
+      const auto& obs = campaign_->at(v, d);
+      EXPECT_LE(static_cast<int>(obs.stamp_count) + obs.free_slots, 9);
+      EXPECT_LE(obs.dest_slot, 9);
+    }
+  }
+}
+
+TEST_P(CampaignWorld, TableTotalsAreExactPartitions) {
+  const auto table = build_response_table(*campaign_);
+  for (const auto& side : {table.by_ip, table.by_as}) {
+    std::uint64_t probed = 0, ping = 0, rr = 0;
+    for (int t = 1; t <= topo::kNumAsTypes; ++t) {
+      probed += side[static_cast<std::size_t>(t)].probed;
+      ping += side[static_cast<std::size_t>(t)].ping_responsive;
+      rr += side[static_cast<std::size_t>(t)].rr_responsive;
+    }
+    EXPECT_EQ(probed, side[0].probed);
+    EXPECT_EQ(ping, side[0].ping_responsive);
+    EXPECT_EQ(rr, side[0].rr_responsive);
+    EXPECT_LE(side[0].rr_responsive, side[0].probed);
+  }
+  EXPECT_EQ(table.by_ip[0].probed, campaign_->num_destinations());
+}
+
+TEST_P(CampaignWorld, MinDistanceIsMonotoneInTheVpSubset) {
+  std::vector<std::size_t> small, big;
+  for (std::size_t v = 0; v < campaign_->num_vps(); ++v) {
+    big.push_back(v);
+    if (v % 3 == 0) small.push_back(v);
+  }
+  for (std::size_t d = 0; d < campaign_->num_destinations(); d += 5) {
+    const int dist_small = campaign_->min_rr_distance(d, small);
+    const int dist_big = campaign_->min_rr_distance(d, big);
+    if (dist_small > 0) {
+      ASSERT_GT(dist_big, 0);
+      EXPECT_LE(dist_big, dist_small);
+    }
+  }
+}
+
+TEST_P(CampaignWorld, FractionWithinIsMonotoneInTheLimit) {
+  const auto responsive = campaign_->rr_responsive_indices();
+  std::vector<std::size_t> all(campaign_->num_vps());
+  for (std::size_t v = 0; v < all.size(); ++v) all[v] = v;
+  double previous = 0.0;
+  for (int limit = 1; limit <= 9; ++limit) {
+    const double fraction =
+        fraction_within(*campaign_, all, responsive, limit);
+    EXPECT_GE(fraction, previous);
+    previous = fraction;
+  }
+  EXPECT_DOUBLE_EQ(
+      previous,
+      static_cast<double>(campaign_->rr_reachable_indices().size()) /
+          static_cast<double>(responsive.size()));
+}
+
+TEST_P(CampaignWorld, ObservationsMatchGroundTruthCausality) {
+  // Ground-truth cross-check: a destination the simulator marks as
+  // ping-unresponsive can never appear responsive in the campaign, and a
+  // destination whose own device drops options can never be RR-responsive.
+  const auto& behaviors = testbed_->behaviors();
+  for (std::size_t d = 0; d < campaign_->num_destinations(); ++d) {
+    const auto host_id = campaign_->destinations()[d];
+    const auto& hb = behaviors.host(host_id);
+    if (!hb.ping_responsive) {
+      EXPECT_FALSE(campaign_->ping_responsive(d));
+      EXPECT_FALSE(campaign_->rr_responsive(d));
+    }
+    if (hb.rr_handling != sim::RrHandling::kCopy) {
+      EXPECT_FALSE(campaign_->rr_responsive(d));
+    }
+  }
+}
+
+TEST_P(CampaignWorld, ReachabilityNeverContradictsStampTruth) {
+  // If the campaign says RR-reachable via the direct test, the device
+  // must stamp itself with its probed address (ground truth).
+  const auto& behaviors = testbed_->behaviors();
+  for (std::size_t d = 0; d < campaign_->num_destinations(); ++d) {
+    if (!campaign_->rr_reachable(d)) continue;
+    const auto host_id = campaign_->destinations()[d];
+    const auto& hb = behaviors.host(host_id);
+    EXPECT_TRUE(hb.stamps_self);
+    EXPECT_EQ(hb.stamp_address,
+              campaign_->topology().host_at(host_id).address);
+  }
+}
+
+TEST_P(CampaignWorld, ReclassificationCandidatesAreExactlyTheGap) {
+  const auto candidates = reclassification_candidates(*campaign_);
+  const std::unordered_set<std::size_t> candidate_set(candidates.begin(),
+                                                      candidates.end());
+  for (std::size_t d = 0; d < campaign_->num_destinations(); ++d) {
+    const bool expected =
+        campaign_->rr_responsive(d) && !campaign_->rr_reachable(d);
+    EXPECT_EQ(candidate_set.contains(d), expected);
+  }
+}
+
+TEST_P(CampaignWorld, RecordedUnionOnlyContainsAssignedAddresses) {
+  const auto& topology = campaign_->topology();
+  for (std::size_t d = 0; d < campaign_->num_destinations(); d += 3) {
+    for (const auto& addr : campaign_->recorded_union(d)) {
+      EXPECT_TRUE(topology.owner_of(addr).has_value())
+          << addr.to_string() << " recorded but never assigned";
+    }
+  }
+}
+
+TEST_P(CampaignWorld, GreedyNeverBeatsItsOwnCandidateUnion) {
+  const auto reachable = campaign_->rr_reachable_indices();
+  if (reachable.empty()) GTEST_SKIP();
+  const auto mlab = vp_indices_of_platform(*campaign_, topo::Platform::kMLab);
+  const auto greedy = greedy_vp_selection(*campaign_, mlab, reachable, 4);
+  const double union_coverage =
+      fraction_within(*campaign_, mlab, reachable, 9);
+  for (double coverage : greedy.coverage) {
+    EXPECT_LE(coverage, union_coverage + 1e-9);
+  }
+  // And the first pick is optimal among single candidates.
+  if (!greedy.chosen_vps.empty()) {
+    for (std::size_t v : mlab) {
+      EXPECT_LE(fraction_within(*campaign_, {v}, reachable, 9),
+                greedy.coverage.front() + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignWorld,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace rr::measure

@@ -1,0 +1,219 @@
+// Property-style sweeps over the wire-format layer: every RR capacity,
+// randomized headers, corruption rejection, incremental-vs-full checksum
+// equivalence, and quoting depth.
+#include <gtest/gtest.h>
+
+#include "netbase/checksum.h"
+#include "packet/datagram.h"
+#include "packet/mutate.h"
+#include "util/rng.h"
+
+namespace rr::pkt {
+namespace {
+
+using net::IPv4Address;
+
+// ------------------------------------------------ RR capacities 1..9
+
+class RrCapacity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RrCapacity, RoundTripsAtEveryFill) {
+  const int capacity = GetParam();
+  for (int fill = 0; fill <= capacity; ++fill) {
+    RecordRouteOption rr = RecordRouteOption::empty(
+        static_cast<std::uint8_t>(capacity));
+    for (int i = 0; i < fill; ++i) {
+      ASSERT_TRUE(rr.stamp(IPv4Address(10, 1, 0, static_cast<uint8_t>(i))));
+    }
+    EXPECT_EQ(rr.remaining_slots(), capacity - fill);
+
+    net::ByteWriter writer;
+    ASSERT_TRUE(serialize_options({IpOption{rr}}, writer));
+    const auto parsed = parse_options(writer.view());
+    ASSERT_TRUE(parsed.has_value());
+    const auto* back = find_record_route(*parsed);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(*back, rr);
+  }
+}
+
+TEST_P(RrCapacity, WireLengthFormula) {
+  const int capacity = GetParam();
+  const auto rr = RecordRouteOption::empty(static_cast<std::uint8_t>(capacity));
+  EXPECT_EQ(rr.wire_length(), 3 + 4 * capacity);
+  EXPECT_LE(rr.wire_length(), kMaxOptionBytes);
+}
+
+TEST_P(RrCapacity, InPlaceStampMatchesStructuredStamp) {
+  const int capacity = GetParam();
+  const auto ping = make_ping(IPv4Address(1, 1, 1, 1), IPv4Address(2, 2, 2, 2),
+                              7, 1, 64, capacity);
+  auto bytes = *ping.serialize();
+
+  RecordRouteOption expected = RecordRouteOption::empty(
+      static_cast<std::uint8_t>(capacity));
+  util::Rng rng{static_cast<std::uint64_t>(capacity)};
+  for (int i = 0; i < capacity + 2; ++i) {
+    const IPv4Address addr{static_cast<std::uint32_t>(rng())};
+    EXPECT_EQ(rr_stamp(bytes, addr), expected.stamp(addr));
+  }
+  const auto parsed = Datagram::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_NE(parsed->header.record_route(), nullptr);
+  EXPECT_EQ(*parsed->header.record_route(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCapacities, RrCapacity, ::testing::Range(1, 10));
+
+// ------------------------------------------------ randomized datagrams
+
+class RandomDatagram : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDatagram, SerializeParseIsIdentity) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 50; ++trial) {
+    Datagram datagram;
+    datagram.header.source = IPv4Address{static_cast<std::uint32_t>(rng())};
+    datagram.header.destination =
+        IPv4Address{static_cast<std::uint32_t>(rng())};
+    datagram.header.ttl = static_cast<std::uint8_t>(rng.next_in(1, 255));
+    datagram.header.tos = static_cast<std::uint8_t>(rng());
+    datagram.header.identification = static_cast<std::uint16_t>(rng());
+    const bool udp = rng.chance(0.4);
+    const int slots = static_cast<int>(rng.next_in(0, 9));
+    if (slots > 0) {
+      auto rr = RecordRouteOption::empty(static_cast<std::uint8_t>(slots));
+      const int fill = static_cast<int>(rng.next_in(0, slots));
+      for (int i = 0; i < fill; ++i) {
+        ASSERT_TRUE(rr.stamp(IPv4Address{static_cast<std::uint32_t>(rng())}));
+      }
+      datagram.header.options.emplace_back(std::move(rr));
+    }
+    if (udp) {
+      UdpDatagram payload;
+      payload.source_port = static_cast<std::uint16_t>(rng());
+      payload.destination_port = static_cast<std::uint16_t>(rng());
+      payload.payload.resize(rng.next_below(32));
+      for (auto& b : payload.payload) b = static_cast<std::uint8_t>(rng());
+      datagram.header.protocol = IpProto::kUdp;
+      datagram.payload = std::move(payload);
+    } else {
+      datagram.header.protocol = IpProto::kIcmp;
+      datagram.payload = IcmpMessage::echo_request(
+          static_cast<std::uint16_t>(rng()), static_cast<std::uint16_t>(rng()),
+          rng.next_below(24) + 4);
+    }
+
+    const auto bytes = datagram.serialize();
+    ASSERT_TRUE(bytes.has_value());
+    const auto parsed = Datagram::parse(*bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.source, datagram.header.source);
+    EXPECT_EQ(parsed->header.destination, datagram.header.destination);
+    EXPECT_EQ(parsed->header.ttl, datagram.header.ttl);
+    EXPECT_EQ(parsed->header.identification, datagram.header.identification);
+    EXPECT_EQ(parsed->header.options, datagram.header.options);
+    if (udp) {
+      ASSERT_NE(parsed->udp(), nullptr);
+      EXPECT_EQ(*parsed->udp(), *datagram.udp());
+    } else {
+      ASSERT_NE(parsed->icmp(), nullptr);
+      ASSERT_NE(parsed->icmp()->echo(), nullptr);
+      EXPECT_EQ(*parsed->icmp()->echo(), *datagram.icmp()->echo());
+    }
+
+    // Re-serializing the parse yields identical bytes (canonical form).
+    const auto again = parsed->serialize();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *bytes);
+  }
+}
+
+TEST_P(RandomDatagram, SingleBitCorruptionIsNeverSilentlyAccepted) {
+  util::Rng rng{GetParam() ^ 0xabcdef};
+  const auto ping = make_ping(IPv4Address(1, 2, 3, 4), IPv4Address(4, 3, 2, 1),
+                              1, 1, 64, 9);
+  const auto bytes = *ping.serialize();
+  for (int trial = 0; trial < 80; ++trial) {
+    auto corrupted = bytes;
+    const std::size_t byte_index = rng.next_below(corrupted.size());
+    const int bit = static_cast<int>(rng.next_below(8));
+    corrupted[byte_index] ^= static_cast<std::uint8_t>(1 << bit);
+    const auto parsed = Datagram::parse(corrupted);
+    if (!parsed.has_value()) continue;  // rejected: good
+    // A flip that still parses must NOT be in the checksummed regions
+    // unless it flipped back to an equivalent encoding (impossible for a
+    // single bit) — i.e. it can only be inside the ICMP payload whose
+    // checksum covers it... which would also fail. So the only acceptable
+    // survivors are none at all.
+    ADD_FAILURE() << "corruption at byte " << byte_index << " bit " << bit
+                  << " was accepted";
+  }
+}
+
+TEST_P(RandomDatagram, DecrementTtlAgreesWithFullRecompute) {
+  util::Rng rng{GetParam() ^ 0x77};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto ping = make_ping(
+        IPv4Address{static_cast<std::uint32_t>(rng())},
+        IPv4Address{static_cast<std::uint32_t>(rng())},
+        static_cast<std::uint16_t>(rng()), 1,
+        static_cast<std::uint8_t>(rng.next_in(2, 255)),
+        static_cast<int>(rng.next_in(0, 9)));
+    auto incremental = *ping.serialize();
+    auto recomputed = incremental;
+    ASSERT_TRUE(decrement_ttl(incremental).has_value());
+    recomputed[8] = static_cast<std::uint8_t>(recomputed[8] - 1);
+    ASSERT_TRUE(rewrite_header_checksum(recomputed));
+    EXPECT_EQ(incremental, recomputed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDatagram,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------ quoting depth sweep
+
+class QuoteDepth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuoteDepth, QuotesHeaderPlusRequestedPayload) {
+  const std::size_t depth = GetParam();
+  const auto probe = make_udp_probe(IPv4Address(9, 9, 9, 9),
+                                    IPv4Address(8, 8, 8, 8), 1000, 33435, 64,
+                                    9);
+  const auto bytes = *probe.serialize();
+  const auto error = IcmpMessage::error(IcmpType::kDestUnreachable,
+                                        kCodePortUnreachable, bytes, depth);
+  const auto* body = error.error_body();
+  ASSERT_NE(body, nullptr);
+  const std::size_t header_bytes = 60;  // 20 + 40 option bytes
+  EXPECT_EQ(body->quoted_datagram.size(),
+            std::min(bytes.size(), header_bytes + depth));
+  // The quoted header always parses regardless of quoting depth.
+  EXPECT_TRUE(Ipv4Header::parse(body->quoted_datagram).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, QuoteDepth,
+                         ::testing::Values(0, 4, 8, 16, 64, 1500));
+
+// ------------------------------------------------ checksum properties
+
+TEST(ChecksumProperty, InsertionOrderIndependence) {
+  // One's-complement addition commutes: partial sums over chunks equal
+  // the sum over the concatenation.
+  util::Rng rng{404};
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::uint8_t> data(2 * (1 + rng.next_below(64)));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const std::size_t split = 2 * rng.next_below(data.size() / 2);
+    const std::uint32_t chunked = net::checksum_partial(
+        std::span<const std::uint8_t>{data}.subspan(split),
+        net::checksum_partial(
+            std::span<const std::uint8_t>{data}.first(split)));
+    EXPECT_EQ(net::checksum_finish(chunked),
+              net::internet_checksum(data));
+  }
+}
+
+}  // namespace
+}  // namespace rr::pkt

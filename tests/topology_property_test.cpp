@@ -1,0 +1,155 @@
+// Generator properties across seeds and scales: structural invariants that
+// must hold for ANY generated world, not just the fixture seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "topology/generator.h"
+
+namespace rr::topo {
+namespace {
+
+class GeneratedWorld : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { topo_ = generate_test_topology(GetParam()); }
+  std::shared_ptr<const Topology> topo_;
+};
+
+TEST_P(GeneratedWorld, ProviderGraphIsAcyclic) {
+  // Kahn's algorithm over customer->provider edges: a cycle would make
+  // route propagation ill-defined.
+  const std::size_t n = topo_->ases().size();
+  std::vector<int> out_degree(n, 0);  // providers per AS
+  std::vector<std::vector<AsId>> customers(n);
+  for (const auto& link : topo_->links()) {
+    if (link.kind != LinkKind::kCustomerProvider) continue;
+    ++out_degree[link.a];
+    customers[link.b].push_back(link.a);
+  }
+  std::queue<AsId> ready;
+  for (AsId as = 0; as < n; ++as) {
+    if (out_degree[as] == 0) ready.push(as);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const AsId top = ready.front();
+    ready.pop();
+    ++processed;
+    for (AsId customer : customers[top]) {
+      if (--out_degree[customer] == 0) ready.push(customer);
+    }
+  }
+  EXPECT_EQ(processed, n) << "customer/provider cycle detected";
+}
+
+TEST_P(GeneratedWorld, EveryRouterHasItsLoopbackFirst) {
+  for (RouterId id = 0; id < topo_->routers().size(); ++id) {
+    const auto& router = topo_->router_at(id);
+    ASSERT_FALSE(router.interfaces.empty());
+    EXPECT_EQ(router.interfaces.front(), router.loopback);
+  }
+}
+
+TEST_P(GeneratedWorld, HostAddressesLiveInTheirPrefix) {
+  for (const HostId id : topo_->destinations()) {
+    const auto& host = topo_->host_at(id);
+    EXPECT_TRUE(host.prefix.contains(host.address));
+    for (const auto& alias : host.aliases) {
+      EXPECT_TRUE(host.prefix.contains(alias));
+    }
+  }
+}
+
+TEST_P(GeneratedWorld, AccessChainsStayInsideTheirAs) {
+  for (const HostId id : topo_->destinations()) {
+    const auto& host = topo_->host_at(id);
+    for (const RouterId router : topo_->access_chain(host.access_router)) {
+      EXPECT_EQ(topo_->router_at(router).as_id, host.as_id);
+    }
+  }
+}
+
+TEST_P(GeneratedWorld, PrefixBlocksNeverOverlap) {
+  // Every destination /24 and infra chunk maps to exactly one AS via LPM;
+  // sampling addresses across blocks must agree with host ownership.
+  for (std::size_t i = 0; i < topo_->destinations().size(); i += 11) {
+    const auto& host = topo_->host_at(topo_->destinations()[i]);
+    for (const std::uint64_t offset : {0ULL, 1ULL, 128ULL, 255ULL}) {
+      const auto as = topo_->as_of_address(host.prefix.address_at(offset));
+      ASSERT_TRUE(as.has_value());
+      EXPECT_EQ(*as, host.as_id);
+    }
+  }
+}
+
+TEST_P(GeneratedWorld, VantagePointsHaveDistinctHostsAndSites) {
+  std::unordered_set<HostId> hosts;
+  std::unordered_set<std::string> sites;
+  for (const auto& vp : topo_->vantage_points()) {
+    EXPECT_TRUE(hosts.insert(vp.host).second);
+    EXPECT_TRUE(sites.insert(vp.site).second);
+    EXPECT_TRUE(vp.exists_in_2011 || vp.exists_in_2016);
+  }
+}
+
+TEST_P(GeneratedWorld, MlabSitsShallowerThanPlanetLab) {
+  // Averaged over sites, M-Lab hosts hang closer to their AS core than
+  // PlanetLab campus hosts — the placement asymmetry behind Figure 1.
+  double mlab_depth = 0, plab_depth = 0;
+  int mlab = 0, plab = 0;
+  for (const auto& vp : topo_->vantage_points()) {
+    const auto& host = topo_->host_at(vp.host);
+    const auto chain = topo_->access_chain(host.access_router);
+    const double depth = static_cast<double>(chain.size());
+    if (vp.platform == Platform::kMLab) {
+      mlab_depth += depth;
+      ++mlab;
+    } else if (vp.platform == Platform::kPlanetLab) {
+      plab_depth += depth;
+      ++plab;
+    }
+  }
+  ASSERT_GT(mlab, 0);
+  ASSERT_GT(plab, 0);
+  EXPECT_LT(mlab_depth / mlab, plab_depth / plab);
+}
+
+TEST_P(GeneratedWorld, StubBorderIsItsCoreRouter) {
+  for (const auto& link : topo_->links()) {
+    for (const auto& [as, router] :
+         {std::pair{link.a, link.router_a}, std::pair{link.b, link.router_b}}) {
+      const auto& info = topo_->as_at(as);
+      if (info.tier == AsTier::kStub) {
+        EXPECT_EQ(router, info.core.front());
+      } else {
+        // Transit ASes terminate every link on a dedicated border.
+        EXPECT_TRUE(topo_->router_at(router).is_border);
+      }
+    }
+  }
+}
+
+TEST_P(GeneratedWorld, CloudsPeerFarMoreThanOrdinaryContent) {
+  double cloud_links = 0, content_links = 0;
+  int clouds = 0, contents = 0;
+  for (const auto& as : topo_->ases()) {
+    if (as.cloud) {
+      cloud_links += static_cast<double>(as.links.size());
+      ++clouds;
+    } else if (as.type == AsType::kContent && as.tier == AsTier::kStub) {
+      content_links += static_cast<double>(as.links.size());
+      ++contents;
+    }
+  }
+  ASSERT_GT(clouds, 0);
+  ASSERT_GT(contents, 0);
+  EXPECT_GT(cloud_links / clouds, 3.0 * content_links / contents);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedWorld,
+                         ::testing::Values(1, 2, 3, 42, 20160924));
+
+}  // namespace
+}  // namespace rr::topo

@@ -1,0 +1,20 @@
+// The umbrella header must be self-contained and expose the whole API.
+#include "rropt.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, ExposesEveryLayer) {
+  // One symbol per layer proves the includes resolve and link.
+  EXPECT_EQ(rr::pkt::kMaxRrSlots, 9);
+  EXPECT_EQ(rr::net::IPv4Address(1, 2, 3, 4).to_string(), "1.2.3.4");
+  EXPECT_EQ(static_cast<int>(rr::topo::Epoch::k2016), 1);
+  EXPECT_NE(rr::util::hash_label("rropt"), 0u);
+  const rr::measure::RrObservation obs;
+  EXPECT_FALSE(obs.rr_reachable());
+  const rr::analysis::Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Tests for the util layer: deterministic RNG and string helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace rr::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng{6};
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[rng.next_below(10)];
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{8};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng{9};
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{10};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng{11};
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIsIndependentAndLabelled) {
+  Rng parent1{42}, parent2{42};
+  Rng child_a = parent1.fork("a");
+  Rng child_b = parent2.fork("b");
+  // Distinct labels give distinct streams.
+  EXPECT_NE(child_a(), child_b());
+  // Same label from identically-positioned parents gives the same stream.
+  Rng parent3{42};
+  Rng child_a2 = parent3.fork("a");
+  EXPECT_EQ(child_a2(), Rng{42}.fork("a")());
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng rng{13};
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.pick_weighted(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.3);
+}
+
+TEST(Rng, GeometricCapped) {
+  Rng rng{14};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.next_geometric(0.9, 5), 5);
+  }
+  // With p=0, never continues.
+  EXPECT_EQ(rng.next_geometric(0.0, 5), 0);
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(510305), "510,305");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(Strings, PercentAndFixed) {
+  EXPECT_EQ(percent(0.754), "75%");
+  EXPECT_EQ(percent(0.666, 1), "66.6%");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(Strings, SplitAndJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "-"), "a-b--c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abc");  // truncates
+}
+
+TEST(Flags, ParsesKeyValueForms) {
+  const char* argv[] = {"tool", "--a", "1", "--b=two", "--c", "pos",
+                        "--d"};
+  const auto flags = Flags::parse(7, argv);
+  EXPECT_EQ(flags.get_int("a", 0), 1);
+  EXPECT_EQ(flags.get("b"), "two");
+  EXPECT_EQ(flags.get("c"), "pos");
+  EXPECT_TRUE(flags.has("d"));
+  EXPECT_FALSE(flags.has("missing"));
+  EXPECT_EQ(flags.get("missing", "fb"), "fb");
+}
+
+TEST(Flags, PositionalAndDoubles) {
+  const char* argv[] = {"tool", "input.rrds", "--rate", "2.5"};
+  const auto flags = Flags::parse(4, argv);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.rrds");
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Flags, TracksUnusedKeys) {
+  const char* argv[] = {"tool", "--used", "1", "--typo", "2"};
+  const auto flags = Flags::parse(5, argv);
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Hashing, LabelHashIsStable) {
+  EXPECT_EQ(hash_label("x"), hash_label("x"));
+  EXPECT_NE(hash_label("x"), hash_label("y"));
+}
+
+}  // namespace
+}  // namespace rr::util

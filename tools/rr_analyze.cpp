@@ -1,0 +1,62 @@
+// rr-analyze: offline analysis of a frozen dataset produced by rr-study.
+//
+//   rr-analyze study.rrds [--within N]
+//
+// Prints Table 1 and the reachability summary without touching the
+// simulator — only the published data.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "data/dataset.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+using namespace rr;
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  if (flags.positional().empty() || flags.has("help")) {
+    std::printf("usage: rr-analyze FILE.rrds [--within N]\n");
+    return flags.has("help") ? 0 : 1;
+  }
+  const auto dataset = data::CampaignDataset::load(flags.positional()[0]);
+  if (!dataset) {
+    std::fprintf(stderr, "error: cannot load %s (missing or corrupt)\n",
+                 flags.positional()[0].c_str());
+    return 1;
+  }
+  std::printf("dataset: %s\n%zu VPs, %s destinations\n\n",
+              dataset->description.c_str(), dataset->num_vps(),
+              util::with_commas(dataset->num_destinations()).c_str());
+
+  static const char* kTypeNames[] = {"Total", "Transit/Access", "Enterprise",
+                                     "Content", "Unknown"};
+  const auto table = dataset->response_table();
+  analysis::TextTable text({"By IP", "probed", "ping", "ping-RR",
+                            "RR/ping"});
+  for (std::size_t i = 0; i < table.by_ip.size(); ++i) {
+    text.add_row({kTypeNames[i],
+                  util::with_commas(table.by_ip[i].probed),
+                  util::percent(table.by_ip[i].ping_rate()),
+                  util::percent(table.by_ip[i].rr_rate()),
+                  util::percent(table.by_ip[i].rr_over_ping())});
+  }
+  text.print(std::cout);
+
+  const int limit = static_cast<int>(flags.get_int("within", 9));
+  std::size_t responsive = 0, within = 0;
+  for (std::size_t d = 0; d < dataset->num_destinations(); ++d) {
+    if (!dataset->rr_responsive(d)) continue;
+    ++responsive;
+    const int dist = dataset->min_rr_distance(d);
+    if (dist > 0 && dist <= limit) ++within;
+  }
+  std::printf("\nRR-responsive destinations within %d RR hops of a VP: "
+              "%s of %s (%s)\n",
+              limit, util::with_commas(within).c_str(),
+              util::with_commas(responsive).c_str(),
+              util::percent(responsive ? double(within) / double(responsive)
+                                       : 0.0).c_str());
+  return 0;
+}

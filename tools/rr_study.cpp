@@ -1,0 +1,77 @@
+// rr-study: run a full measurement campaign on a generated Internet and
+// freeze it into a dataset file.
+//
+//   rr-study [--ases N] [--seed S] [--epoch 2011|2016] [--stride K]
+//            [--pps R] [--out study.rrds]
+//
+// The dataset can then be re-analyzed offline with rr-analyze.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "data/dataset.h"
+#include "measure/classify.h"
+#include "measure/testbed.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+using namespace rr;
+
+int main(int argc, char** argv) {
+  const auto flags = util::Flags::parse(argc, argv);
+  if (flags.has("help")) {
+    std::printf(
+        "usage: rr-study [--ases N] [--seed S] [--epoch 2011|2016]\n"
+        "                [--stride K] [--pps R] [--out FILE.rrds]\n");
+    return 0;
+  }
+
+  measure::TestbedConfig config;
+  config.topo_params.num_ases =
+      static_cast<int>(flags.get_int("ases", 1200));
+  config.topo_params.seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 20160924));
+  if (config.topo_params.num_ases < 5200) {
+    config.topo_params.colo_fraction = std::min(
+        0.30, 0.06 * 5200.0 / std::max(config.topo_params.num_ases, 1));
+  }
+  config.epoch = flags.get("epoch", "2016") == "2011" ? topo::Epoch::k2011
+                                                      : topo::Epoch::k2016;
+
+  measure::Testbed testbed{config};
+  std::fprintf(stderr, "world: %s\n", testbed.topology().summary().c_str());
+
+  measure::CampaignConfig campaign_config;
+  campaign_config.destination_stride =
+      static_cast<int>(flags.get_int("stride", 1));
+  campaign_config.vp_pps = flags.get_double("pps", 20.0);
+  const auto campaign = measure::Campaign::run(testbed, campaign_config);
+
+  const auto table = measure::build_response_table(campaign);
+  std::printf("probed %s destinations from %zu VPs\n",
+              util::with_commas(table.by_ip[0].probed).c_str(),
+              campaign.num_vps());
+  std::printf("ping-responsive: %s (%s)\n",
+              util::with_commas(table.by_ip[0].ping_responsive).c_str(),
+              util::percent(table.by_ip[0].ping_rate()).c_str());
+  std::printf("RR-responsive:   %s (%s; %s of ping-responsive)\n",
+              util::with_commas(table.by_ip[0].rr_responsive).c_str(),
+              util::percent(table.by_ip[0].rr_rate()).c_str(),
+              util::percent(table.by_ip[0].rr_over_ping()).c_str());
+
+  const std::string out_path = flags.get("out", "study.rrds");
+  const auto dataset = data::CampaignDataset::from_campaign(
+      campaign, "rr-study epoch=" + flags.get("epoch", "2016"));
+  if (!dataset.save(out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("dataset written to %s (%zu VPs x %zu destinations)\n",
+              out_path.c_str(), dataset.num_vps(),
+              dataset.num_destinations());
+
+  for (const auto& key : flags.unused()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+  }
+  return 0;
+}
