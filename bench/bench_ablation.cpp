@@ -24,9 +24,15 @@ using namespace rr;
 
 int main() {
   bench::heading("ablation studies");
+  bench::Telemetry telemetry{"ablation"};
+  telemetry.phase("world");
   auto config = bench::bench_config();
   measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+  telemetry.phase("campaign");
   const auto campaign = measure::Campaign::run(testbed);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", campaign.num_destinations());
   const auto responsive = campaign.rr_responsive_indices();
   const double n_responsive =
       std::max<std::size_t>(responsive.size(), 1);

@@ -12,9 +12,15 @@ using namespace rr;
 
 int main() {
   bench::heading("§3.5 AS stamping audit (traceroute vs ping-RR AS paths)");
+  bench::Telemetry telemetry{"as_stamping"};
+  telemetry.phase("world");
   auto config = bench::bench_config();
   measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+  telemetry.phase("campaign");
   const auto campaign = measure::Campaign::run(testbed);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", campaign.num_destinations());
 
   measure::AsStampingConfig study_config;
   study_config.max_dests_per_vp = std::getenv("RROPT_QUICK") ? 100 : 1000;

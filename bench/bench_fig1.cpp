@@ -12,9 +12,15 @@ using namespace rr;
 
 int main() {
   bench::heading("Figure 1: RR hops from closest vantage point");
+  bench::Telemetry telemetry{"fig1"};
+  telemetry.phase("world");
   auto config = bench::bench_config();
   measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+  telemetry.phase("campaign");
   const auto campaign = measure::Campaign::run(testbed);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", campaign.num_destinations());
 
   const auto responsive = campaign.rr_responsive_indices();
   std::vector<std::size_t> all_vps(campaign.num_vps());

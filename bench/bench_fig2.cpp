@@ -36,6 +36,9 @@ EpochData run_epoch(measure::Testbed& testbed) {
 int main() {
   bench::heading("Figure 2: reachability, 2011 vs 2016");
 
+  bench::Telemetry telemetry{"fig2"};
+  telemetry.phase("world");
+
   // One world, two epochs: identical devices and policies, different
   // connectivity and VP availability.
   auto config16 = bench::bench_config(topo::Epoch::k2016);
@@ -43,9 +46,14 @@ int main() {
   auto config11 = bench::bench_config(topo::Epoch::k2011);
   measure::Testbed testbed11{testbed16.topology_ptr(),
                              testbed16.behaviors_ptr(), config11};
+  bench::record_world(telemetry, testbed16);
 
+  telemetry.phase("campaign-2016");
   EpochData d2016 = run_epoch(testbed16);
+  telemetry.phase("campaign-2011");
   EpochData d2011 = run_epoch(testbed11);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", d2016.campaign.num_destinations());
 
   const auto figure = measure::figure2(d2016.campaign, d2011.campaign);
   figure.print(std::cout);

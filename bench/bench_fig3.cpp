@@ -12,9 +12,15 @@ using namespace rr;
 
 int main() {
   bench::heading("Figure 3: cloud-provider hop counts (§3.6)");
+  bench::Telemetry telemetry{"fig3"};
+  telemetry.phase("world");
   auto config = bench::bench_config();
   measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+  telemetry.phase("campaign");
   const auto campaign = measure::Campaign::run(testbed);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", campaign.num_destinations());
 
   measure::CloudStudyConfig study_config;
   if (std::getenv("RROPT_QUICK")) {

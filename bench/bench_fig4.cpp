@@ -13,9 +13,15 @@ using namespace rr;
 
 int main() {
   bench::heading("Figure 4: RR responses per VP at 10pps vs 100pps (§4.1)");
+  bench::Telemetry telemetry{"fig4"};
+  telemetry.phase("world");
   auto config = bench::bench_config();
   measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+  telemetry.phase("campaign");
   const auto campaign = measure::Campaign::run(testbed);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", campaign.num_destinations());
 
   measure::RateLimitConfig study_config;
   // The paper probed 100k destinations; scale with the world size.

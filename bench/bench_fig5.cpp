@@ -13,9 +13,15 @@ using namespace rr;
 
 int main() {
   bench::heading("Figure 5: response rate vs initial TTL (§4.2)");
+  bench::Telemetry telemetry{"fig5"};
+  telemetry.phase("world");
   auto config = bench::bench_config();
   measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+  telemetry.phase("campaign");
   const auto campaign = measure::Campaign::run(testbed);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", campaign.num_destinations());
 
   measure::TtlStudyConfig study_config;
   if (std::getenv("RROPT_QUICK")) study_config.per_vp_per_class = 100;

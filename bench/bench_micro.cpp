@@ -4,6 +4,7 @@
 // numbers justify the harness's ability to replay census-scale studies.
 #include <benchmark/benchmark.h>
 
+#include "bench/telemetry.h"
 #include "measure/testbed.h"
 #include "netbase/lpm_trie.h"
 #include "packet/datagram.h"
@@ -112,4 +113,11 @@ BENCHMARK(BM_SimulatedPingRr)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  rr::bench::Telemetry telemetry{"micro"};
+  telemetry.phase("benchmarks");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -13,9 +13,15 @@ using namespace rr;
 
 int main() {
   bench::heading("§3.3 reclassification: alias + quoted-RR recoveries");
+  bench::Telemetry telemetry{"reclassify"};
+  telemetry.phase("world");
   auto config = bench::bench_config();
   measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+  telemetry.phase("campaign");
   const auto campaign = measure::Campaign::run(testbed);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", campaign.num_destinations());
 
   const auto candidates = measure::reclassification_candidates(campaign);
   const auto midar_input = measure::midar_candidate_addresses(campaign);

@@ -41,9 +41,15 @@ void print_side(const char* label,
 
 int main() {
   bench::heading("Table 1: ping vs ping-RR response rates");
+  bench::Telemetry telemetry{"table1"};
+  telemetry.phase("world");
   auto config = bench::bench_config();
   measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+  telemetry.phase("campaign");
   const auto campaign = measure::Campaign::run(testbed);
+  telemetry.phase("analysis");
+  telemetry.value("destinations", campaign.num_destinations());
   const auto table = measure::build_response_table(campaign);
 
   std::printf("world: %s\n\n", testbed.topology().summary().c_str());
@@ -76,5 +82,10 @@ int main() {
   const auto figure = measure::vp_response_figure(campaign);
   figure.write_csv("vp_responses.csv");
   std::printf("  (full distribution written to vp_responses.csv)\n");
+
+  telemetry.value("ping_rate_by_ip", table.by_ip[0].ping_rate());
+  telemetry.value("rr_rate_by_ip", table.by_ip[0].rr_rate());
+  telemetry.value("rr_over_ping_by_ip", table.by_ip[0].rr_over_ping());
+  telemetry.value("frac_answering_90", frac90);
   return 0;
 }

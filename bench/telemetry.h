@@ -1,0 +1,126 @@
+// Machine-readable bench telemetry.
+//
+// Each bench binary owns one Telemetry object; phase() fences wall-clock
+// sections ("world", "campaign", "analysis", ...) and value() records the
+// headline numbers the bench printed for humans. On destruction (or an
+// explicit finish()) the object writes BENCH_<name>.json to the working
+// directory, so scripts/run_benches.sh leaves a parseable record of every
+// run next to the textual bench_output.txt:
+//
+//   {
+//     "bench": "table1",
+//     "total_seconds": 12.345,
+//     "phases": {"world": 1.204, "campaign": 10.881},
+//     "values": {"ases": 5200, "threads": 8, "rr_over_ping": 0.751}
+//   }
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rr::bench {
+
+class Telemetry {
+ public:
+  explicit Telemetry(std::string name)
+      : name_(std::move(name)), start_(Clock::now()) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  ~Telemetry() { finish(); }
+
+  /// Closes the current phase (if any) and starts timing a new one.
+  void phase(std::string phase_name) {
+    close_phase();
+    current_ = std::move(phase_name);
+    phase_start_ = Clock::now();
+  }
+
+  void value(const std::string& key, double v) {
+    values_.emplace_back(key, format_double(v));
+  }
+  template <typename T,
+            typename std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  void value(const std::string& key, T v) {
+    values_.emplace_back(key, std::to_string(v));
+  }
+  void value(const std::string& key, const std::string& v) {
+    values_.emplace_back(key, "\"" + escaped(v) + "\"");
+  }
+
+  /// Closes the last phase and writes BENCH_<name>.json. Idempotent.
+  void finish() {
+    if (written_) return;
+    written_ = true;
+    close_phase();
+    const double total = seconds_since(start_);
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "telemetry: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"total_seconds\": %s,\n",
+                 escaped(name_).c_str(), format_double(total).c_str());
+    std::fprintf(f, "  \"phases\": {");
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                   escaped(phases_[i].first).c_str(),
+                   format_double(phases_[i].second).c_str());
+    }
+    std::fprintf(f, "},\n  \"values\": {");
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                   escaped(values_[i].first).c_str(),
+                   values_[i].second.c_str());
+    }
+    std::fprintf(f, "}\n}\n");
+    std::fclose(f);
+    std::printf("  (telemetry written to %s)\n", path.c_str());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  static std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void close_phase() {
+    if (current_.empty()) return;
+    phases_.emplace_back(current_, seconds_since(phase_start_));
+    current_.clear();
+  }
+
+  std::string name_;
+  Clock::time_point start_;
+  Clock::time_point phase_start_{};
+  std::string current_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  bool written_ = false;
+};
+
+}  // namespace rr::bench

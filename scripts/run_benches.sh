@@ -15,3 +15,9 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+# Collect the machine-readable telemetry the benches wrote alongside the
+# textual log (one BENCH_<name>.json per bench binary).
+mkdir -p bench_telemetry
+mv -f BENCH_*.json bench_telemetry/ 2>/dev/null || true
+echo "telemetry: $(ls bench_telemetry 2>/dev/null | wc -l) files in bench_telemetry/"

@@ -1,20 +1,51 @@
 #include "measure/campaign.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace rr::measure {
 
 namespace {
 
-void merge_recorded(std::vector<net::IPv4Address>& into,
-                    const std::vector<net::IPv4Address>& addresses) {
-  for (const auto& addr : addresses) {
-    const auto it = std::lower_bound(into.begin(), into.end(), addr);
-    if (it == into.end() || *it != addr) into.insert(it, addr);
+/// One optimistic ping-RR exchange awaiting token-bucket resolution.
+/// Buffers (recorded, events) are recycled across chunks via swap.
+struct PendingProbe {
+  std::uint32_t dest = 0;
+  RrObservation obs;
+  std::vector<net::IPv4Address> recorded;
+  std::vector<sim::BucketEvent> events;
+  sim::NetCounters counters;
+};
+
+/// Folds a probe result into the compact observation, extracting the
+/// recorded RR addresses for the per-destination union.
+RrObservation observe(const probe::ProbeResult& result,
+                      net::IPv4Address target,
+                      std::vector<net::IPv4Address>& recorded_out) {
+  RrObservation obs;
+  recorded_out.clear();
+  if (!result.responded()) return obs;
+  obs.flags |= RrObservation::kResponded;
+  if (result.kind == probe::ResponseKind::kEchoReply) {
+    obs.flags |= RrObservation::kEchoReply;
   }
+  if (result.rr_option_in_reply) {
+    obs.flags |= RrObservation::kOptionPresent;
+    obs.stamp_count = static_cast<std::uint8_t>(result.rr_recorded.size());
+    obs.free_slots = static_cast<std::uint8_t>(result.rr_free_slots);
+    const auto it = std::find(result.rr_recorded.begin(),
+                              result.rr_recorded.end(), target);
+    if (it != result.rr_recorded.end()) {
+      obs.dest_slot =
+          static_cast<std::uint8_t>((it - result.rr_recorded.begin()) + 1);
+    }
+    recorded_out.assign(result.rr_recorded.begin(), result.rr_recorded.end());
+  }
+  return obs;
 }
 
 }  // namespace
@@ -37,30 +68,67 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
   campaign.observations_.assign(n_vps * n_dests, RrObservation{});
   campaign.recorded_union_.assign(n_dests, {});
 
-  testbed.network().reset();
+  sim::Network& net = testbed.network();
+  net.reset();
+
+  const int threads = util::resolve_thread_count(
+      config.threads > 0 ? config.threads : testbed.threads());
+  util::ThreadPool pool(threads);
+  const double interval = 1.0 / config.vp_pps;
 
   // ------------------------------------------------- plain-ping study
   // Three pings per destination from the probe host (USC in the paper).
+  // Each destination owns a reserved block of paced send slots, so its
+  // probe times — and therefore its outcome — do not depend on how many
+  // attempts earlier destinations consumed. Plain pings carry no IP
+  // options, so no token bucket is involved and destinations are fully
+  // independent: the sweep parallelizes over destination ranges with no
+  // resolution phase.
   {
-    auto prober = testbed.make_prober(testbed.topology().probe_host(),
-                                      config.vp_pps);
-    for (std::size_t d = 0; d < n_dests; ++d) {
-      const auto target =
-          testbed.topology().host_at(campaign.dests_[d]).address;
-      for (int attempt = 0; attempt < config.ping_attempts; ++attempt) {
-        const auto result = prober.probe(probe::ProbeSpec::ping(target));
-        if (result.kind == probe::ResponseKind::kEchoReply) {
-          campaign.ping_responsive_[d] = 1;
-          break;
+    const topo::HostId probe_host = testbed.topology().probe_host();
+    const int attempts = std::max(1, config.ping_attempts);
+    constexpr std::size_t kPingChunk = 256;
+    const std::size_t n_chunks = (n_dests + kPingChunk - 1) / kPingChunk;
+    std::vector<sim::NetCounters> tallies(n_chunks);
+    pool.parallel_for(n_chunks, [&](std::size_t chunk) {
+      const std::size_t begin = chunk * kPingChunk;
+      const std::size_t end = std::min(begin + kPingChunk, n_dests);
+      auto prober = testbed.make_prober(probe_host, config.vp_pps);
+      sim::SendContext ctx;
+      for (std::size_t d = begin; d < end; ++d) {
+        const auto target =
+            testbed.topology().host_at(campaign.dests_[d]).address;
+        prober.set_clock(static_cast<double>(attempts) *
+                         static_cast<double>(d) * interval);
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+          const auto result =
+              prober.probe(probe::ProbeSpec::ping(target), &ctx);
+          if (result.kind == probe::ResponseKind::kEchoReply) {
+            campaign.ping_responsive_[d] = 1;
+            break;
+          }
         }
       }
-    }
+      tallies[chunk] = ctx.counters;
+    });
+    for (const auto& tally : tallies) net.merge_counters(tally);
   }
 
   // ---------------------------------------------------- ping-RR study
   // Every VP probes every destination once, in its own random order; all
   // VPs run concurrently on the shared virtual timeline, so shared rate
   // limiters see the aggregate load.
+  //
+  // Execution is chunked: pass A advances every VP's probe stream a fixed
+  // number of steps in parallel (per-VP prober and context, counter-based
+  // randomness — no shared mutable state), recording would-be token-bucket
+  // consumes instead of performing them. Pass B then replays those
+  // consumes serially in (step, VP, event) order — the exact order a
+  // single-threaded live run consumes tokens — cancelling any probe or
+  // reply whose consume fails and substituting the counters the serial run
+  // would have produced. Chunk size is fixed, and chunk boundaries are
+  // invisible to both passes, so contents are identical at any thread
+  // count.
   util::Rng order_rng{config.seed};
   std::vector<probe::Prober> probers;
   probers.reserve(n_vps);
@@ -76,54 +144,101 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
     order_rng.shuffle(order);
   }
 
-  for (std::size_t k = 0; k < n_dests; ++k) {
-    for (std::size_t v = 0; v < n_vps; ++v) {
-      const std::size_t d = orders[v][k];
-      const auto target =
-          testbed.topology().host_at(campaign.dests_[d]).address;
-      const auto result =
-          probers[v].probe(probe::ProbeSpec::ping_rr(target));
+  // Raw per-destination address sightings, deduplicated once at the end.
+  std::vector<std::vector<net::IPv4Address>> collected(n_dests);
 
-      RrObservation& obs = campaign.observations_[v * n_dests + d];
-      if (!result.responded()) continue;
-      obs.flags |= RrObservation::kResponded;
-      if (result.kind == probe::ResponseKind::kEchoReply) {
-        obs.flags |= RrObservation::kEchoReply;
+  constexpr std::size_t kChunkSteps = 64;
+  std::vector<sim::SendContext> contexts(n_vps);
+  std::vector<PendingProbe> pending(kChunkSteps * n_vps);
+  for (std::size_t k0 = 0; k0 < n_dests; k0 += kChunkSteps) {
+    const std::size_t steps = std::min(kChunkSteps, n_dests - k0);
+
+    // Pass A: per-VP probe streams, one worker at a time per VP.
+    pool.parallel_for(n_vps, [&](std::size_t v) {
+      sim::SendContext& ctx = contexts[v];
+      for (std::size_t j = 0; j < steps; ++j) {
+        const std::size_t d = orders[v][k0 + j];
+        PendingProbe& p = pending[j * n_vps + v];
+        p.dest = static_cast<std::uint32_t>(d);
+        const auto target =
+            campaign.topology_->host_at(campaign.dests_[d]).address;
+        ctx.counters = sim::NetCounters{};
+        const auto result =
+            probers[v].probe(probe::ProbeSpec::ping_rr(target), &ctx);
+        p.counters = ctx.counters;
+        std::swap(p.events, ctx.trace.events);
+        p.obs = observe(result, target, p.recorded);
       }
-      if (result.rr_option_in_reply) {
-        obs.flags |= RrObservation::kOptionPresent;
-        obs.stamp_count =
-            static_cast<std::uint8_t>(result.rr_recorded.size());
-        obs.free_slots = static_cast<std::uint8_t>(result.rr_free_slots);
-        const auto it = std::find(result.rr_recorded.begin(),
-                                  result.rr_recorded.end(), target);
-        if (it != result.rr_recorded.end()) {
-          obs.dest_slot = static_cast<std::uint8_t>(
-              (it - result.rr_recorded.begin()) + 1);
+    });
+
+    // Pass B: serial token replay + result application.
+    for (std::size_t j = 0; j < steps; ++j) {
+      for (std::size_t v = 0; v < n_vps; ++v) {
+        PendingProbe& p = pending[j * n_vps + v];
+        bool killed_forward = false;
+        bool killed_reply = false;
+        for (const auto& ev : p.events) {
+          if (!net.try_consume_options_token(ev.router, ev.time)) {
+            // A policed drop is silent: a forward-leg failure means the
+            // probe never arrived anywhere, a reply-leg failure means the
+            // response never came home. Later events of this probe would
+            // not have happened (reply events always follow forward ones).
+            (ev.reply_leg ? killed_reply : killed_forward) = true;
+            break;
+          }
         }
-        merge_recorded(campaign.recorded_union_[d], result.rr_recorded);
+        if (killed_forward || killed_reply) {
+          p.obs = RrObservation{};
+          p.recorded.clear();
+          p.counters = sim::NetCounters{};
+          p.counters.sent = 1;
+          p.counters.delivered = killed_reply ? 1 : 0;
+          p.counters.dropped_rate_limit = 1;
+        }
+        net.merge_counters(p.counters);
+        campaign.observations_[v * n_dests + p.dest] = p.obs;
+        if (!p.recorded.empty()) {
+          auto& sightings = collected[p.dest];
+          sightings.insert(sightings.end(), p.recorded.begin(),
+                           p.recorded.end());
+        }
       }
     }
   }
 
+  // Deduplicate each destination's sightings in one sort instead of the
+  // old per-probe sorted-insert (quadratic in popular destinations).
+  pool.parallel_for(n_dests, [&](std::size_t d) {
+    auto& sightings = collected[d];
+    std::sort(sightings.begin(), sightings.end());
+    sightings.erase(std::unique(sightings.begin(), sightings.end()),
+                    sightings.end());
+    sightings.shrink_to_fit();
+    campaign.recorded_union_[d] = std::move(sightings);
+  });
+
+  campaign.finalize_derived();
+
   util::log_info() << "campaign complete: " << n_vps << " VPs x " << n_dests
-                   << " destinations";
+                   << " destinations, " << threads << " threads";
   return campaign;
 }
 
-bool Campaign::rr_responsive(std::size_t dest_index) const noexcept {
+void Campaign::finalize_derived() {
+  const std::size_t n_dests = dests_.size();
+  rr_responsive_bits_.assign(n_dests, 0);
+  rr_reachable_bits_.assign(n_dests, 0);
+  responding_vp_counts_.assign(n_dests, 0);
   for (std::size_t v = 0; v < vps_.size(); ++v) {
-    if (at(v, dest_index).rr_responsive()) return true;
+    const RrObservation* row = observations_.data() + v * n_dests;
+    for (std::size_t d = 0; d < n_dests; ++d) {
+      if (row[d].rr_responsive()) {
+        rr_responsive_bits_[d] = 1;
+        ++responding_vp_counts_[d];
+      }
+      if (row[d].rr_reachable()) rr_reachable_bits_[d] = 1;
+    }
   }
-  return false;
-}
-
-int Campaign::responding_vp_count(std::size_t dest_index) const noexcept {
-  int count = 0;
-  for (std::size_t v = 0; v < vps_.size(); ++v) {
-    if (at(v, dest_index).rr_responsive()) ++count;
-  }
-  return count;
 }
 
 int Campaign::min_rr_distance(
@@ -136,13 +251,6 @@ int Campaign::min_rr_distance(
     if (best == 0 || obs.dest_slot < best) best = obs.dest_slot;
   }
   return best;
-}
-
-bool Campaign::rr_reachable(std::size_t dest_index) const noexcept {
-  for (std::size_t v = 0; v < vps_.size(); ++v) {
-    if (at(v, dest_index).rr_reachable()) return true;
-  }
-  return false;
 }
 
 std::vector<std::size_t> Campaign::rr_responsive_indices() const {

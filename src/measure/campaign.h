@@ -9,6 +9,15 @@
 // ping responsiveness, a compact per-(VP, destination) Record Route
 // observation, and the per-destination union of addresses ever seen in RR
 // response headers (the input to alias resolution).
+//
+// Execution model: the campaign fans the per-VP probe streams across a
+// worker pool (see util::ThreadPool and CampaignConfig::threads) in fixed
+// chunks. All probe randomness is counter-based (sim::Network), so a
+// probe's fate is a pure function of the probe; the one piece of shared
+// mutable state — router token buckets — is resolved in a serial replay
+// phase per chunk, in exactly the order a single-threaded run would have
+// consumed tokens. Campaign contents are therefore bit-for-bit identical
+// at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +59,10 @@ struct CampaignConfig {
   /// Probe only every k-th destination (1 = all); sub-sampling knob for
   /// fast iteration at large scales.
   int destination_stride = 1;
+  /// Worker threads for campaign execution. 0 = inherit the testbed's
+  /// setting, which itself defaults to RROPT_THREADS or the hardware
+  /// concurrency; 1 = single-threaded. Results are identical at any value.
+  int threads = 0;
 };
 
 class Campaign {
@@ -90,28 +103,46 @@ class Campaign {
   }
 
   // ------------------------------------------------------- derived basics
+  // Per-destination summaries are folded once at the end of run(), so the
+  // predicates analyses hammer in tight loops are O(1) lookups rather than
+  // O(num_vps) scans over the observation matrix.
+
   /// Destination answered at least one VP's ping-RR with the option copied.
-  [[nodiscard]] bool rr_responsive(std::size_t dest_index) const noexcept;
+  [[nodiscard]] bool rr_responsive(std::size_t dest_index) const noexcept {
+    return rr_responsive_bits_[dest_index] != 0;
+  }
   /// Number of VPs whose ping-RR the destination answered (option copied).
-  [[nodiscard]] int responding_vp_count(std::size_t dest_index) const noexcept;
+  [[nodiscard]] int responding_vp_count(std::size_t dest_index)
+      const noexcept {
+    return responding_vp_counts_[dest_index];
+  }
   /// Minimum RR hop distance over a VP subset; 0 when unreachable from all.
   [[nodiscard]] int min_rr_distance(
       std::size_t dest_index,
       const std::vector<std::size_t>& vp_subset) const noexcept;
   /// Direct RR-reachability (the probed address appeared for some VP).
-  [[nodiscard]] bool rr_reachable(std::size_t dest_index) const noexcept;
+  [[nodiscard]] bool rr_reachable(std::size_t dest_index) const noexcept {
+    return rr_reachable_bits_[dest_index] != 0;
+  }
 
   /// Destination indices fulfilling a basic predicate.
   [[nodiscard]] std::vector<std::size_t> rr_responsive_indices() const;
   [[nodiscard]] std::vector<std::size_t> rr_reachable_indices() const;
 
  private:
+  /// Single pass over the observation matrix filling the per-destination
+  /// summary caches above.
+  void finalize_derived();
+
   std::shared_ptr<const topo::Topology> topology_;
   std::vector<const topo::VantagePoint*> vps_;
   std::vector<topo::HostId> dests_;
   std::vector<std::uint8_t> ping_responsive_;
   std::vector<RrObservation> observations_;
   std::vector<std::vector<net::IPv4Address>> recorded_union_;
+  std::vector<std::uint8_t> rr_responsive_bits_;
+  std::vector<std::uint8_t> rr_reachable_bits_;
+  std::vector<std::uint16_t> responding_vp_counts_;
 };
 
 }  // namespace rr::measure

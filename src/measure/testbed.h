@@ -22,6 +22,10 @@ struct TestbedConfig {
   sim::BehaviorParams behavior_params;
   sim::NetParams net_params;
   topo::Epoch epoch = topo::Epoch::k2016;
+  /// Default worker-thread count for campaigns run on this testbed.
+  /// 0 = resolve from RROPT_THREADS / hardware concurrency at use time;
+  /// 1 = single-threaded. Results do not depend on this value.
+  int threads = 0;
 };
 
 class Testbed {
@@ -52,6 +56,7 @@ class Testbed {
   [[nodiscard]] route::RoutingOracle& oracle() noexcept { return *oracle_; }
   [[nodiscard]] sim::Network& network() noexcept { return *network_; }
   [[nodiscard]] topo::Epoch epoch() const noexcept { return config_.epoch; }
+  [[nodiscard]] int threads() const noexcept { return config_.threads; }
 
   /// Vantage points active in this epoch, in a stable order.
   [[nodiscard]] const std::vector<const topo::VantagePoint*>& vps()

@@ -54,7 +54,7 @@ Prober::Prober(sim::Network& network, topo::HostId source,
       clock_(options.start_time),
       interval_(1.0 / options.pps) {}
 
-ProbeResult Prober::probe(const ProbeSpec& spec) {
+ProbeResult Prober::probe(const ProbeSpec& spec, sim::SendContext* ctx) {
   const double send_time = clock_;
   clock_ += interval_;
   ++sent_;
@@ -83,7 +83,8 @@ ProbeResult Prober::probe(const ProbeSpec& spec) {
 
   auto bytes = datagram.serialize();
   if (!bytes) return result;
-  const auto delivery = network_->send(source_, std::move(*bytes), send_time);
+  const auto delivery =
+      network_->send(source_, std::move(*bytes), send_time, ctx);
   if (!delivery) return result;
   return parse_response(spec, seq, send_time, *delivery);
 }

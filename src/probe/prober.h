@@ -30,7 +30,14 @@ class Prober {
          ProberOptions options = ProberOptions{});
 
   /// Sends one probe at the next paced slot and returns its result.
-  ProbeResult probe(const ProbeSpec& spec);
+  ProbeResult probe(const ProbeSpec& spec) { return probe(spec, nullptr); }
+
+  /// Same, but routes simulator bookkeeping through `ctx` so that probes
+  /// from different probers can run on concurrent threads (see
+  /// sim::SendContext). The clock still advances one paced slot per call
+  /// whether or not a response arrives, so send times — and therefore
+  /// outcomes — depend only on the probe stream, not on thread timing.
+  ProbeResult probe(const ProbeSpec& spec, sim::SendContext* ctx);
 
   /// Classic traceroute: TTL-limited pings until the target answers or
   /// `max_ttl` is exhausted; `attempts` tries per hop.

@@ -59,16 +59,17 @@ std::vector<AsId> RoutingOracle::as_path(AsId src, AsId dst) {
     return it->second->as_path_from(src);
   }
 
-  return fallback_tree(dst).as_path_from(src);
+  return fallback_path(src, dst);
 }
 
 bool RoutingOracle::reachable(AsId src, AsId dst) {
   return src == dst || !as_path(src, dst).empty();
 }
 
-const RouteTree& RoutingOracle::fallback_tree(AsId dst) {
+std::vector<AsId> RoutingOracle::fallback_path(AsId src, AsId dst) {
+  std::lock_guard<std::mutex> lock(fallback_mu_);
   if (const auto it = fallback_.find(dst); it != fallback_.end()) {
-    return *it->second;
+    return it->second->as_path_from(src);
   }
   if (fallback_order_.size() >= kFallbackCacheSize) {
     fallback_.erase(fallback_order_.front());
@@ -78,7 +79,7 @@ const RouteTree& RoutingOracle::fallback_tree(AsId dst) {
   const RouteTree& ref = *tree;
   fallback_.emplace(dst, std::move(tree));
   fallback_order_.push_back(dst);
-  return ref;
+  return ref.as_path_from(src);
 }
 
 }  // namespace rr::route

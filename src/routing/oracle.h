@@ -13,9 +13,16 @@
 //
 // Forward/reverse asymmetry comes for free: the two directions consult
 // different trees.
+//
+// Concurrency: after construction the precomputed arrays and pinned trees
+// are immutable, so source-origin and source-destined queries are safe from
+// any number of threads. Only the fallback cache mutates post-construction;
+// it is guarded by a mutex (fallback queries are rare — campaign traffic
+// never takes that path).
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -43,7 +50,9 @@ class RoutingOracle {
   [[nodiscard]] bool reachable(AsId src, AsId dst);
 
  private:
-  [[nodiscard]] const RouteTree& fallback_tree(AsId dst);
+  /// Returns the fallback path result directly (the tree reference cannot
+  /// outlive the cache lock, so the lookup happens under it).
+  [[nodiscard]] std::vector<AsId> fallback_path(AsId src, AsId dst);
 
   BgpEngine engine_;
   std::vector<AsId> sources_;                      // sorted, unique
@@ -58,8 +67,9 @@ class RoutingOracle {
   // Pinned trees toward each source AS (for reverse paths).
   std::unordered_map<AsId, std::unique_ptr<RouteTree>> pinned_;
 
-  // Small FIFO cache for everything else.
+  // Small FIFO cache for everything else, guarded for concurrent callers.
   static constexpr std::size_t kFallbackCacheSize = 64;
+  std::mutex fallback_mu_;
   std::unordered_map<AsId, std::unique_ptr<RouteTree>> fallback_;
   std::vector<AsId> fallback_order_;
 };

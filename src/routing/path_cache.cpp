@@ -1,0 +1,84 @@
+#include "routing/path_cache.h"
+
+#include "util/rng.h"
+
+namespace rr::route {
+
+PathCache::PathCache(PathStitcher stitcher, std::size_t max_entries)
+    : stitcher_(std::move(stitcher)),
+      max_per_shard_(max_entries == 0 ? 0
+                                      : (max_entries + kShards - 1) / kShards),
+      shards_(kShards) {}
+
+PathCache::EntryPtr PathCache::lookup(Kind kind, std::uint64_t src,
+                                      std::uint64_t dst) {
+  // Ids are dense and far below 2^30, so the triple packs losslessly.
+  const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 60) |
+                            (src << 30) | dst;
+  Shard& shard = shards_[util::mix64(key) % kShards];
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<Entry>();
+  switch (kind) {
+    case Kind::kHostHost:
+      entry->routable = stitcher_.host_path(static_cast<HostId>(src),
+                                            static_cast<HostId>(dst),
+                                            entry->hops);
+      break;
+    case Kind::kRouterHost:
+      entry->routable = stitcher_.router_path(static_cast<RouterId>(src),
+                                              static_cast<HostId>(dst),
+                                              entry->hops);
+      break;
+    case Kind::kHostRouter:
+      entry->routable = stitcher_.host_to_router_path(
+          static_cast<HostId>(src), static_cast<RouterId>(dst), entry->hops);
+      break;
+  }
+  if (!entry->routable) entry->hops.clear();
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] = shard.map.emplace(key, entry);
+  if (!inserted) return it->second;  // another thread computed it first
+  if (max_per_shard_ > 0) {
+    if (shard.order.size() < max_per_shard_) {
+      shard.order.push_back(key);
+    } else {
+      shard.map.erase(shard.order[shard.evict_at]);
+      shard.order[shard.evict_at] = key;
+      shard.evict_at = (shard.evict_at + 1) % shard.order.size();
+    }
+  }
+  return entry;
+}
+
+PathCache::EntryPtr PathCache::host_path(HostId src, HostId dst) {
+  return lookup(Kind::kHostHost, src, dst);
+}
+
+PathCache::EntryPtr PathCache::router_path(RouterId src, HostId dst) {
+  return lookup(Kind::kRouterHost, src, dst);
+}
+
+PathCache::EntryPtr PathCache::host_to_router_path(HostId src, RouterId dst) {
+  return lookup(Kind::kHostRouter, src, dst);
+}
+
+void PathCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.order.clear();
+    shard.evict_at = 0;
+  }
+}
+
+}  // namespace rr::route

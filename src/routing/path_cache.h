@@ -1,0 +1,82 @@
+// A thread-safe router-level path cache in front of PathStitcher.
+//
+// Stitching a (source, destination) pair walks the AS path, the intra-AS
+// cores and the access chains, and derives per-hop ingress/egress
+// addresses — a few microseconds that the measurement layer used to pay on
+// *every* packet. Campaign traffic reuses pairs heavily (three plain pings
+// per destination, a forward stitch per probe and a reverse stitch per
+// reply, traceroutes re-stitching the same pair once per TTL), so the
+// cache computes each directed pair once and hands out shared immutable
+// hop lists after that.
+//
+// Concurrency: lookups take one shard mutex (64 shards, keyed by endpoint
+// pair); entries are shared_ptr-owned so a returned path stays valid even
+// if the entry is evicted by another thread. Capacity is bounded per shard
+// with FIFO eviction — at campaign scale the working set is the (VP x
+// destination) pair set of the current probe window, which FIFO tracks
+// well because probing is stream-ordered.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/stitcher.h"
+
+namespace rr::route {
+
+class PathCache {
+ public:
+  /// `max_entries` bounds the total cached paths (0 = unbounded).
+  explicit PathCache(PathStitcher stitcher, std::size_t max_entries = 1 << 18);
+
+  /// Cached equivalents of the PathStitcher calls. The returned pointer is
+  /// never null; `(*result)->routable` is false when BGP has no route, and
+  /// `hops` is then empty.
+  struct Entry {
+    bool routable = false;
+    std::vector<PathHop> hops;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  [[nodiscard]] EntryPtr host_path(HostId src, HostId dst);
+  [[nodiscard]] EntryPtr router_path(RouterId src, HostId dst);
+  [[nodiscard]] EntryPtr host_to_router_path(HostId src, RouterId dst);
+
+  /// Drops every cached path (behaviour/topology never change under a
+  /// running network, so this exists for tests and memory pressure only).
+  void clear();
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Kind : std::uint64_t { kHostHost = 1, kRouterHost = 2,
+                                    kHostRouter = 3 };
+
+  [[nodiscard]] EntryPtr lookup(Kind kind, std::uint64_t src,
+                                std::uint64_t dst);
+
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, EntryPtr> map;
+    std::vector<std::uint64_t> order;  // FIFO eviction ring
+    std::size_t evict_at = 0;
+  };
+
+  PathStitcher stitcher_;
+  std::size_t max_per_shard_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace rr::route

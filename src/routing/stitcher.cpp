@@ -165,22 +165,25 @@ void PathStitcher::derive_addresses(const std::vector<RouterId>& seq,
 
 bool PathStitcher::host_path(HostId src, HostId dst,
                              std::vector<PathHop>& out) {
-  if (!assemble(src, std::nullopt, dst, std::nullopt, scratch_)) return false;
-  derive_addresses(scratch_, dst, src, out);
+  std::vector<RouterId> seq;
+  if (!assemble(src, std::nullopt, dst, std::nullopt, seq)) return false;
+  derive_addresses(seq, dst, src, out);
   return true;
 }
 
 bool PathStitcher::router_path(RouterId src, HostId dst,
                                std::vector<PathHop>& out) {
-  if (!assemble(std::nullopt, src, dst, std::nullopt, scratch_)) return false;
-  derive_addresses(scratch_, dst, std::nullopt, out);
+  std::vector<RouterId> seq;
+  if (!assemble(std::nullopt, src, dst, std::nullopt, seq)) return false;
+  derive_addresses(seq, dst, std::nullopt, out);
   return true;
 }
 
 bool PathStitcher::host_to_router_path(HostId src, RouterId dst,
                                        std::vector<PathHop>& out) {
-  if (!assemble(src, std::nullopt, std::nullopt, dst, scratch_)) return false;
-  derive_addresses(scratch_, 0xf100000000000000ULL | dst, src, out);
+  std::vector<RouterId> seq;
+  if (!assemble(src, std::nullopt, std::nullopt, dst, seq)) return false;
+  derive_addresses(seq, 0xf100000000000000ULL | dst, src, out);
   return true;
 }
 

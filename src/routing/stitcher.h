@@ -13,6 +13,12 @@
 // Forward and reverse paths are stitched independently against the per-
 // direction route trees, so reply packets generally take a different router
 // path than the probe did.
+//
+// A stitcher holds no per-call state, so one instance may be shared by
+// concurrent callers as long as the oracle it wraps is itself safe for
+// concurrent queries (RoutingOracle is). Repeated stitches of the same
+// endpoint pair should go through route::PathCache instead of re-deriving
+// the hops each time.
 #pragma once
 
 #include <memory>
@@ -88,7 +94,6 @@ class PathStitcher {
 
   std::shared_ptr<const topo::Topology> topology_;
   RoutingOracle* oracle_;
-  std::vector<RouterId> scratch_;
 };
 
 }  // namespace rr::route

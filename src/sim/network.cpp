@@ -1,9 +1,34 @@
 #include "sim/network.h"
 
+#include <bit>
+
 #include "packet/datagram.h"
 #include "packet/mutate.h"
 
 namespace rr::sim {
+
+namespace {
+
+// Purposes for per-hop counter-based draws; folded into the draw key so a
+// hop's fast-path and slow-path loss draws are independent.
+constexpr std::uint64_t kDrawBaseLoss = 1;
+constexpr std::uint64_t kDrawOptionsLoss = 2;
+
+std::uint64_t draw_key(std::uint64_t flow, int leg, std::size_t hop,
+                       std::uint64_t purpose) {
+  return util::mix64(flow ^ (static_cast<std::uint64_t>(leg) << 62) ^
+                     (static_cast<std::uint64_t>(hop) << 8) ^ purpose);
+}
+
+/// Bernoulli(p) as a pure function of the key: the draw is the same no
+/// matter which thread evaluates it or in what order.
+bool hash_chance(std::uint64_t key, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return static_cast<double>(util::mix64(key) >> 11) * 0x1.0p-53 < p;
+}
+
+}  // namespace
 
 Network::Network(std::shared_ptr<const topo::Topology> topology,
                  std::shared_ptr<const Behaviors> behaviors,
@@ -11,16 +36,27 @@ Network::Network(std::shared_ptr<const topo::Topology> topology,
     : topology_(std::move(topology)),
       behaviors_(std::move(behaviors)),
       stitcher_(topology_, oracle),
+      paths_(stitcher_, params.path_cache_entries),
       params_(params),
-      rng_(params.seed) {
-  router_ipid_count_.assign(topology_->routers().size(), 0);
-  host_ipid_count_.assign(topology_->hosts().size(), 0);
-}
+      router_ipid_count_(topology_->routers().size()),
+      host_ipid_count_(topology_->hosts().size()) {}
 
 void Network::reset() {
   for (auto& [id, bucket] : buckets_) bucket.reset();
-  rng_ = util::Rng{params_.seed};
   counters_ = NetCounters{};
+}
+
+void Network::merge_counters(const NetCounters& tally) {
+  counters_.sent += tally.sent;
+  counters_.delivered += tally.delivered;
+  counters_.responses += tally.responses;
+  counters_.dropped_loss += tally.dropped_loss;
+  counters_.dropped_filter += tally.dropped_filter;
+  counters_.dropped_rate_limit += tally.dropped_rate_limit;
+  counters_.dropped_ttl += tally.dropped_ttl;
+  counters_.dropped_unroutable += tally.dropped_unroutable;
+  counters_.ttl_errors += tally.ttl_errors;
+  counters_.port_unreachables += tally.port_unreachables;
 }
 
 TokenBucket& Network::bucket_for(RouterId router) {
@@ -38,22 +74,26 @@ std::uint16_t Network::next_ip_id(bool is_router, std::uint32_t id,
                                   double now) {
   const double velocity = is_router ? behaviors_->router_ipid_velocity(id)
                                     : behaviors_->host_ipid_velocity(id);
-  std::uint32_t& count =
+  std::atomic<std::uint32_t>& count =
       is_router ? router_ipid_count_[id] : host_ipid_count_[id];
   const std::uint32_t base = static_cast<std::uint32_t>(
       util::mix64((std::uint64_t{is_router} << 40) | id) & 0xffff);
-  ++count;
+  const std::uint32_t n = count.fetch_add(1, std::memory_order_relaxed) + 1;
   return static_cast<std::uint16_t>(
-      (base + count + static_cast<std::uint32_t>(velocity * now)) & 0xffff);
+      (base + n + static_cast<std::uint32_t>(velocity * now)) & 0xffff);
 }
 
 Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
-                                  const std::vector<route::PathHop>& hops,
+                                  std::span<const route::PathHop> hops,
                                   double start, topo::AsId src_as,
-                                  topo::AsId dst_as) {
+                                  topo::AsId dst_as, std::uint64_t flow,
+                                  int leg, SendContext* ctx) {
   WalkResult result;
+  NetCounters& c = counters_for(ctx);
   double now = start;
   const bool has_options = pkt::has_ip_options(bytes);
+  const double base_loss = behaviors_->params().base_loss;
+  const double options_loss = behaviors_->params().options_extra_loss;
   for (std::size_t i = 0; i < hops.size(); ++i) {
     now += params_.hop_delay_s;
     const RouterId router = hops[i].router;
@@ -62,24 +102,32 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
     const AsBehavior& ab = behaviors_->as_behavior(as);
 
     // Plain fast-path loss.
-    if (rng_.chance(behaviors_->params().base_loss)) {
-      ++counters_.dropped_loss;
+    if (hash_chance(draw_key(flow, leg, i, kDrawBaseLoss), base_loss)) {
+      ++c.dropped_loss;
       return result;
     }
 
     if (has_options) {
       // Slow path: the route processor sees this packet.
-      if (rng_.chance(behaviors_->params().options_extra_loss)) {
-        ++counters_.dropped_loss;
+      if (hash_chance(draw_key(flow, leg, i, kDrawOptionsLoss),
+                      options_loss)) {
+        ++c.dropped_loss;
         return result;
       }
-      if (rb.options_rate_pps > 0.0f && !bucket_for(router).try_consume(now)) {
-        ++counters_.dropped_rate_limit;
-        return result;
+      if (rb.options_rate_pps > 0.0f) {
+        if (ctx != nullptr) {
+          // Deferred mode: record the consume for serial resolution and
+          // continue as if it succeeded. A failed consume is a silent
+          // drop, so nothing later in the walk would have differed.
+          ctx->trace.events.push_back({router, now, leg != 0});
+        } else if (!bucket_for(router).try_consume(now)) {
+          ++c.dropped_rate_limit;
+          return result;
+        }
       }
       const bool at_edge = (as == src_as) || (as == dst_as);
       if (ab.filters_transit || (at_edge && ab.filters_edge)) {
-        ++counters_.dropped_filter;
+        ++c.dropped_filter;
         return result;
       }
     }
@@ -88,7 +136,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
     if (!rb.hidden) {
       const auto ttl = pkt::decrement_ttl(bytes);
       if (!ttl) {
-        ++counters_.dropped_ttl;
+        ++c.dropped_ttl;
         return result;  // malformed or already expired
       }
       if (*ttl == 0) {
@@ -121,13 +169,15 @@ std::optional<HostId> Network::host_owning(net::IPv4Address addr) const {
 
 std::optional<Network::Delivery> Network::send(HostId src,
                                                std::vector<std::uint8_t> bytes,
-                                               double time) {
-  ++counters_.sent;
+                                               double time, SendContext* ctx) {
+  NetCounters& c = counters_for(ctx);
+  if (ctx != nullptr) ctx->trace.reset();
+  ++c.sent;
   const auto dst_addr = pkt::peek_destination(bytes);
   if (!dst_addr) return std::nullopt;
   const auto owner = topology_->owner_of(*dst_addr);
   if (!owner) {
-    ++counters_.dropped_unroutable;
+    ++c.dropped_unroutable;
     return std::nullopt;
   }
 
@@ -136,61 +186,81 @@ std::optional<Network::Delivery> Network::send(HostId src,
   if (!src_addr) return std::nullopt;
   const auto reply_to = host_owning(*src_addr);
   if (!reply_to) {
-    ++counters_.dropped_unroutable;
+    ++c.dropped_unroutable;
     return std::nullopt;
   }
 
+  // The packet's flow key: every random decision along both legs derives
+  // from it, so the probe's fate is a pure function of (seed, injecting
+  // host, destination address, send time). Serial mode additionally folds
+  // in the global send counter so that back-to-back retries of an
+  // identical packet redraw their luck, matching pre-existing behaviour of
+  // interactive tests; campaign mode relies on unique send times instead.
+  std::uint64_t flow = util::mix64(params_.seed ^ 0x5252464c4f57ULL);
+  flow = util::mix64(flow ^
+                     ((std::uint64_t{src} << 32) ^ dst_addr->value()));
+  flow = util::mix64(flow ^ std::bit_cast<std::uint64_t>(time));
+  if (ctx == nullptr) flow = util::mix64(flow ^ counters_.sent);
+
   const topo::AsId src_as = topology_->host_at(src).as_id;
   topo::AsId dst_as;
+  route::PathCache::EntryPtr fwd_entry;
   if (owner->kind == topo::AddressOwner::Kind::kHost) {
     dst_as = topology_->host_at(owner->id).as_id;
-    if (!stitcher_.host_path(src, owner->id, fwd_hops_)) {
-      ++counters_.dropped_unroutable;
-      return std::nullopt;
-    }
+    fwd_entry = paths_.host_path(src, owner->id);
   } else {
     dst_as = topology_->router_at(owner->id).as_id;
-    if (!stitcher_.host_to_router_path(src, owner->id, fwd_hops_)) {
-      ++counters_.dropped_unroutable;
-      return std::nullopt;
-    }
+    fwd_entry = paths_.host_to_router_path(src, owner->id);
+  }
+  if (!fwd_entry->routable) {
+    ++c.dropped_unroutable;
+    return std::nullopt;
+  }
+  std::span<const route::PathHop> fwd_hops{fwd_entry->hops};
+  if (owner->kind == topo::AddressOwner::Kind::kRouter &&
+      !fwd_hops.empty()) {
     // The probed router is the final element; it answers rather than
     // forwards, so exclude it from the forwarding walk.
-    if (!fwd_hops_.empty()) fwd_hops_.pop_back();
+    fwd_hops = fwd_hops.first(fwd_hops.size() - 1);
   }
 
-  const auto fwd = walk(bytes, fwd_hops_, time, src_as, dst_as);
+  const auto fwd =
+      walk(bytes, fwd_hops, time, src_as, dst_as, flow, /*leg=*/0, ctx);
   switch (fwd.outcome) {
     case WalkOutcome::kDropped:
       return std::nullopt;
     case WalkOutcome::kTtlExpired: {
-      const auto& hop = fwd_hops_[fwd.expired_hop];
+      const auto& hop = fwd_hops[fwd.expired_hop];
       const RouterBehavior& rb = behaviors_->router(hop.router);
       if (rb.anonymous) {
-        ++counters_.dropped_ttl;
+        ++c.dropped_ttl;
         return std::nullopt;
       }
-      ++counters_.ttl_errors;
+      ++c.ttl_errors;
+      if (ctx != nullptr) ctx->trace.counted_ttl_error = true;
       return emit_router_error(
           hop.router, hop.ingress,
           static_cast<std::uint8_t>(pkt::IcmpType::kTimeExceeded),
-          pkt::kCodeTtlExceededInTransit, bytes, *reply_to, fwd.time);
+          pkt::kCodeTtlExceededInTransit, bytes, *reply_to, fwd.time, flow,
+          ctx);
     }
     case WalkOutcome::kDelivered:
       break;
   }
-  ++counters_.delivered;
+  ++c.delivered;
+  if (ctx != nullptr) ctx->trace.counted_delivered = true;
 
   if (owner->kind == topo::AddressOwner::Kind::kHost) {
-    return host_respond(owner->id, *reply_to, bytes, fwd.time);
+    return host_respond(owner->id, *reply_to, bytes, fwd.time, flow, ctx);
   }
-  return router_respond(owner->id, *dst_addr, *reply_to, bytes, fwd.time);
+  return router_respond(owner->id, *dst_addr, *reply_to, bytes, fwd.time,
+                        flow, ctx);
 }
 
 std::optional<Network::Delivery> Network::emit_router_error(
     RouterId router, net::IPv4Address from, std::uint8_t icmp_type,
     std::uint8_t code, const std::vector<std::uint8_t>& offending,
-    HostId reply_to, double time) {
+    HostId reply_to, double time, std::uint64_t flow, SendContext* ctx) {
   const auto probe_src = pkt::peek_source(offending);
   if (!probe_src) return std::nullopt;
 
@@ -208,19 +278,21 @@ std::optional<Network::Delivery> Network::emit_router_error(
 
   // Route the error from the originating router back to the prober. The
   // error itself carries no options, so edge filters leave it alone.
-  if (!stitcher_.router_path(router, reply_to, rev_hops_)) {
-    ++counters_.dropped_unroutable;
+  const auto rev_entry = paths_.router_path(router, reply_to);
+  if (!rev_entry->routable) {
+    ++counters_for(ctx).dropped_unroutable;
     return std::nullopt;
   }
   const topo::AsId router_as = topology_->router_at(router).as_id;
   const topo::AsId reply_as = topology_->host_at(reply_to).as_id;
-  return deliver_back(std::move(*error_bytes), rev_hops_, time, router_as,
-                      reply_as, reply_to);
+  return deliver_back(std::move(*error_bytes), rev_entry->hops, time,
+                      router_as, reply_as, reply_to, flow, ctx);
 }
 
 std::optional<Network::Delivery> Network::host_respond(
     HostId dst, HostId reply_to, const std::vector<std::uint8_t>& bytes,
-    double time) {
+    double time, std::uint64_t flow, SendContext* ctx) {
+  NetCounters& c = counters_for(ctx);
   const HostBehavior& hb = behaviors_->host(dst);
   const auto datagram = pkt::Datagram::parse(bytes);
   if (!datagram) return std::nullopt;
@@ -257,19 +329,22 @@ std::optional<Network::Delivery> Network::host_respond(
     }
     auto reply_bytes = reply.serialize();
     if (!reply_bytes) return std::nullopt;
-    if (!stitcher_.host_path(dst, reply_to, rev_hops_)) {
-      ++counters_.dropped_unroutable;
+    const auto rev_entry = paths_.host_path(dst, reply_to);
+    if (!rev_entry->routable) {
+      ++c.dropped_unroutable;
       return std::nullopt;
     }
-    return deliver_back(std::move(*reply_bytes), rev_hops_, time,
+    return deliver_back(std::move(*reply_bytes), rev_entry->hops, time,
                         topology_->host_at(dst).as_id,
-                        topology_->host_at(reply_to).as_id, reply_to);
+                        topology_->host_at(reply_to).as_id, reply_to, flow,
+                        ctx);
   }
 
   if (const auto* udp = datagram->udp()) {
     (void)udp;  // every probed UDP port is closed in this world
     if (!hb.ping_responsive || !hb.responds_udp) return std::nullopt;
-    ++counters_.port_unreachables;
+    ++c.port_unreachables;
+    if (ctx != nullptr) ctx->trace.counted_port_unreachable = true;
     // Port unreachable, quoting the datagram as it arrived — including any
     // RR stamps it accrued on the forward path.
     pkt::Datagram error;
@@ -283,13 +358,15 @@ std::optional<Network::Delivery> Network::host_respond(
         params_.quoted_payload_bytes);
     auto error_bytes = error.serialize();
     if (!error_bytes) return std::nullopt;
-    if (!stitcher_.host_path(dst, reply_to, rev_hops_)) {
-      ++counters_.dropped_unroutable;
+    const auto rev_entry = paths_.host_path(dst, reply_to);
+    if (!rev_entry->routable) {
+      ++c.dropped_unroutable;
       return std::nullopt;
     }
-    return deliver_back(std::move(*error_bytes), rev_hops_, time,
+    return deliver_back(std::move(*error_bytes), rev_entry->hops, time,
                         topology_->host_at(dst).as_id,
-                        topology_->host_at(reply_to).as_id, reply_to);
+                        topology_->host_at(reply_to).as_id, reply_to, flow,
+                        ctx);
   }
 
   return std::nullopt;
@@ -297,7 +374,8 @@ std::optional<Network::Delivery> Network::host_respond(
 
 std::optional<Network::Delivery> Network::router_respond(
     RouterId router, net::IPv4Address probed, HostId reply_to,
-    const std::vector<std::uint8_t>& bytes, double time) {
+    const std::vector<std::uint8_t>& bytes, double time, std::uint64_t flow,
+    SendContext* ctx) {
   const RouterBehavior& rb = behaviors_->router(router);
   if (!rb.responds_ping) return std::nullopt;
   const auto datagram = pkt::Datagram::parse(bytes);
@@ -318,25 +396,31 @@ std::optional<Network::Delivery> Network::router_respond(
   }
   auto reply_bytes = reply.serialize();
   if (!reply_bytes) return std::nullopt;
-  if (!stitcher_.router_path(router, reply_to, rev_hops_)) {
-    ++counters_.dropped_unroutable;
+  const auto rev_entry = paths_.router_path(router, reply_to);
+  if (!rev_entry->routable) {
+    ++counters_for(ctx).dropped_unroutable;
     return std::nullopt;
   }
-  return deliver_back(std::move(*reply_bytes), rev_hops_, time,
+  return deliver_back(std::move(*reply_bytes), rev_entry->hops, time,
                       topology_->router_at(router).as_id,
-                      topology_->host_at(reply_to).as_id, reply_to);
+                      topology_->host_at(reply_to).as_id, reply_to, flow,
+                      ctx);
 }
 
 std::optional<Network::Delivery> Network::deliver_back(
-    std::vector<std::uint8_t> bytes, const std::vector<route::PathHop>& hops,
-    double start, topo::AsId src_as, topo::AsId dst_as, HostId receiver) {
-  const auto result = walk(bytes, hops, start, src_as, dst_as);
+    std::vector<std::uint8_t> bytes, std::span<const route::PathHop> hops,
+    double start, topo::AsId src_as, topo::AsId dst_as, HostId receiver,
+    std::uint64_t flow, SendContext* ctx) {
+  const auto result =
+      walk(bytes, hops, start, src_as, dst_as, flow, /*leg=*/1, ctx);
   if (result.outcome != WalkOutcome::kDelivered) {
     // A reply that expires or is dropped on the way back simply never
     // arrives; errors about errors are not generated (RFC 1122).
     return std::nullopt;
   }
-  ++counters_.responses;
+  NetCounters& c = counters_for(ctx);
+  ++c.responses;
+  if (ctx != nullptr) ctx->trace.counted_response = true;
   return Delivery{std::move(bytes), result.time, receiver};
 }
 

@@ -18,14 +18,41 @@
 // back (the reverse-traceroute mechanism the paper builds on).
 //
 // Measurement code never sees simulator internals — only response bytes.
+//
+// Determinism and concurrency
+// ---------------------------
+// Every per-packet random decision (loss on either leg) is a counter-based
+// draw keyed on (seed, source, destination, send time, leg, hop), so a
+// packet's fate is a pure function of the packet — independent of how many
+// other packets are in flight or of the order threads execute them. The
+// only cross-packet state is the per-router options token buckets and the
+// aggregate counters:
+//
+//   * in the default serial mode (ctx == nullptr) buckets are consulted
+//     live and counters accumulate in the network, exactly as before;
+//   * in concurrent mode the caller passes a SendContext per worker:
+//     counters accumulate in the context, and bucket consumes are not
+//     decided — they are *recorded* as BucketEvents (assumed to succeed)
+//     for the caller to resolve later in virtual-time order via
+//     try_consume_options_token(). A rate-limit drop is silent, so a probe
+//     whose deferred consume fails simply has its optimistic response
+//     discarded; nothing else about the walk would have differed.
+//
+// Device IP-ID counters are atomics: response IP-IDs depend on global send
+// order (they model background traffic on a shared counter), but they
+// never enter campaign observations, so campaign output stays bit-for-bit
+// reproducible at any thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "routing/path_cache.h"
 #include "routing/stitcher.h"
 #include "sim/behavior.h"
 #include "sim/token_bucket.h"
@@ -40,6 +67,8 @@ struct NetParams {
   std::uint64_t seed = 0x51C0FFEE;
   double hop_delay_s = 0.0005;          // per router hop
   std::size_t quoted_payload_bytes = 8;  // ICMP error quotation depth
+  /// Router-level path cache capacity (paths, across all shards).
+  std::size_t path_cache_entries = 1 << 18;
 };
 
 /// Why a probe got no (useful) answer — simulator-side diagnostics used by
@@ -55,6 +84,42 @@ struct NetCounters {
   std::uint64_t dropped_unroutable = 0;
   std::uint64_t ttl_errors = 0;         // Time-Exceeded returned
   std::uint64_t port_unreachables = 0;
+};
+
+/// One deferred options-token consume: a policed router saw an options
+/// packet at a virtual time. Recorded in probe order (forward leg first,
+/// then the reply leg); times increase within a leg.
+struct BucketEvent {
+  RouterId router = topo::kNoRouter;
+  double time = 0.0;
+  bool reply_leg = false;
+};
+
+/// Per-send bookkeeping for deferred-bucket (concurrent) execution. The
+/// counted_* flags remember which optimistic aggregate counters this send
+/// incremented, so a later rate-limit kill can roll them back.
+struct ProbeTrace {
+  std::vector<BucketEvent> events;
+  bool counted_delivered = false;
+  bool counted_response = false;
+  bool counted_ttl_error = false;
+  bool counted_port_unreachable = false;
+
+  void reset() {
+    events.clear();
+    counted_delivered = false;
+    counted_response = false;
+    counted_ttl_error = false;
+    counted_port_unreachable = false;
+  }
+};
+
+/// Per-worker state for concurrent sends: a private counter tally (merge
+/// into the network with merge_counters()) plus the trace of the most
+/// recent send. One context must never be used by two threads at once.
+struct SendContext {
+  NetCounters counters;
+  ProbeTrace trace;
 };
 
 class Network {
@@ -76,10 +141,27 @@ class Network {
   /// `time` (seconds). Returns the response, delivered to whichever host
   /// owns the datagram's source address, or nullopt if nothing comes back
   /// (including when the named source is not a host).
+  ///
+  /// With `ctx == nullptr` the call is serial-mode: counters and token
+  /// buckets live in the network and the call must not race other sends.
+  /// With a context, the call is safe to run concurrently with other
+  /// sends holding *different* contexts; bucket consumes are deferred into
+  /// `ctx->trace` (see the header comment) and the returned delivery is
+  /// optimistic until the caller resolves those events.
   std::optional<Delivery> send(HostId src, std::vector<std::uint8_t> bytes,
-                               double time);
+                               double time, SendContext* ctx = nullptr);
 
-  /// Resets token buckets and the loss RNG (fresh measurement campaign).
+  /// Serial-phase resolution of one deferred options-token consume.
+  /// Callers must feed events in their chosen canonical order (the
+  /// campaign uses virtual-time order); concurrent calls are not allowed.
+  bool try_consume_options_token(RouterId router, double now) {
+    return bucket_for(router).try_consume(now);
+  }
+
+  /// Folds a per-worker counter tally into the network totals.
+  void merge_counters(const NetCounters& tally);
+
+  /// Resets token buckets and counters (fresh measurement campaign).
   void reset();
 
   [[nodiscard]] const NetCounters& counters() const noexcept {
@@ -92,6 +174,9 @@ class Network {
     return *behaviors_;
   }
   [[nodiscard]] route::PathStitcher& stitcher() noexcept { return stitcher_; }
+  [[nodiscard]] const route::PathCache& path_cache() const noexcept {
+    return paths_;
+  }
 
  private:
   enum class WalkOutcome { kDelivered, kDropped, kTtlExpired };
@@ -103,9 +188,12 @@ class Network {
   };
 
   /// Runs the per-hop pipeline over `hops`, mutating `bytes` in place.
+  /// `flow` keys the packet's counter-based draws; `leg` is 0 on the
+  /// forward walk and 1 on any reply walk.
   WalkResult walk(std::vector<std::uint8_t>& bytes,
-                  const std::vector<route::PathHop>& hops, double start,
-                  topo::AsId src_as, topo::AsId dst_as);
+                  std::span<const route::PathHop> hops, double start,
+                  topo::AsId src_as, topo::AsId dst_as, std::uint64_t flow,
+                  int leg, SendContext* ctx);
 
   /// Host owning an address, if any (responses are routed to it).
   [[nodiscard]] std::optional<HostId> host_owning(
@@ -115,23 +203,30 @@ class Network {
   std::optional<Delivery> emit_router_error(
       RouterId router, net::IPv4Address from, std::uint8_t icmp_type,
       std::uint8_t code, const std::vector<std::uint8_t>& offending,
-      HostId reply_to, double time);
+      HostId reply_to, double time, std::uint64_t flow, SendContext* ctx);
 
   /// Response from the destination host for an echo request / UDP probe.
   std::optional<Delivery> host_respond(HostId dst, HostId reply_to,
                                        const std::vector<std::uint8_t>& bytes,
-                                       double time);
+                                       double time, std::uint64_t flow,
+                                       SendContext* ctx);
 
   /// Response from a directly probed router interface.
   std::optional<Delivery> router_respond(
       RouterId router, net::IPv4Address probed, HostId reply_to,
-      const std::vector<std::uint8_t>& bytes, double time);
+      const std::vector<std::uint8_t>& bytes, double time, std::uint64_t flow,
+      SendContext* ctx);
 
   /// Walks a response along the reverse path to `receiver`.
   std::optional<Delivery> deliver_back(std::vector<std::uint8_t> bytes,
-                                       const std::vector<route::PathHop>& hops,
+                                       std::span<const route::PathHop> hops,
                                        double start, topo::AsId src_as,
-                                       topo::AsId dst_as, HostId receiver);
+                                       topo::AsId dst_as, HostId receiver,
+                                       std::uint64_t flow, SendContext* ctx);
+
+  [[nodiscard]] NetCounters& counters_for(SendContext* ctx) noexcept {
+    return ctx != nullptr ? ctx->counters : counters_;
+  }
 
   [[nodiscard]] std::uint16_t next_ip_id(bool is_router, std::uint32_t id,
                                          double now);
@@ -141,14 +236,12 @@ class Network {
   std::shared_ptr<const topo::Topology> topology_;
   std::shared_ptr<const Behaviors> behaviors_;
   route::PathStitcher stitcher_;
+  route::PathCache paths_;
   NetParams params_;
-  util::Rng rng_;
   NetCounters counters_;
   std::unordered_map<RouterId, TokenBucket> buckets_;
-  std::vector<std::uint32_t> router_ipid_count_;
-  std::vector<std::uint32_t> host_ipid_count_;
-  std::vector<route::PathHop> fwd_hops_;
-  std::vector<route::PathHop> rev_hops_;
+  std::vector<std::atomic<std::uint32_t>> router_ipid_count_;
+  std::vector<std::atomic<std::uint32_t>> host_ipid_count_;
 };
 
 }  // namespace rr::sim

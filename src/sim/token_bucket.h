@@ -5,6 +5,14 @@
 // over virtual time. Time comes from the probing schedule, so probing
 // faster than the refill rate produces exactly the drop patterns Figure 4
 // investigates.
+//
+// A bucket is plain serial state with virtual-time-ordered semantics: its
+// outcome sequence is fully determined by the ordered sequence of consume
+// times it is fed. Concurrent campaign execution exploits this by
+// *recording* would-be consumes during the parallel phase and replaying
+// them through Network::try_consume_options_token() in a canonical
+// virtual-time order — the bucket itself is never touched from two
+// threads.
 #pragma once
 
 #include <algorithm>

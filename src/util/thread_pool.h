@@ -1,0 +1,64 @@
+// A small reusable worker pool for data-parallel loops.
+//
+// The campaign executor fans per-VP probe streams across these workers;
+// anything else that wants a parallel sweep (benches, future studies) can
+// reuse the same pool. Design goals, in order: determinism of the *caller*
+// (the pool never reorders a caller's own work, it only partitions an index
+// space), low dispatch overhead for repeated small regions (persistent
+// workers, no per-call thread spawn), and graceful degradation to a plain
+// loop at one thread so the single-threaded path stays allocation- and
+// lock-free.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rr::util {
+
+/// Resolves a thread-count request against the environment:
+///   requested > 0          -> requested;
+///   RROPT_THREADS set > 0  -> that value;
+///   otherwise              -> hardware_concurrency (at least 1).
+[[nodiscard]] int resolve_thread_count(int requested = 0);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates in
+  /// every region, so `threads == 1` spawns nothing).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return threads_; }
+
+  /// Runs `fn(i)` for every i in [0, n), partitioned dynamically across
+  /// the pool; blocks until all indices are done. `fn` must be safe to
+  /// call concurrently for distinct indices. Exceptions from `fn` must not
+  /// escape (workers would terminate the process).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> completed_{0};
+  bool stop_ = false;
+};
+
+}  // namespace rr::util

@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
   if (flags.has("help")) {
     std::printf(
         "usage: rr-study [--ases N] [--seed S] [--epoch 2011|2016]\n"
-        "                [--stride K] [--pps R] [--out FILE.rrds]\n");
+        "                [--stride K] [--pps R] [--threads T]\n"
+        "                [--out FILE.rrds]\n"
+        "  --threads T  campaign worker threads (0 = RROPT_THREADS or all\n"
+        "               cores; results are identical at any value)\n");
     return 0;
   }
 
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
   campaign_config.destination_stride =
       static_cast<int>(flags.get_int("stride", 1));
   campaign_config.vp_pps = flags.get_double("pps", 20.0);
+  campaign_config.threads = static_cast<int>(flags.get_int("threads", 0));
   const auto campaign = measure::Campaign::run(testbed, campaign_config);
 
   const auto table = measure::build_response_table(campaign);
