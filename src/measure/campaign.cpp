@@ -12,14 +12,35 @@ namespace rr::measure {
 namespace {
 
 /// One optimistic ping-RR exchange awaiting token-bucket resolution.
-/// Buffers (recorded, events) are recycled across chunks via swap.
+/// Buffers (recorded, trace.events) are recycled across chunks via swap.
 struct PendingProbe {
   std::uint32_t dest = 0;
   RrObservation obs;
   std::vector<net::IPv4Address> recorded;
-  std::vector<sim::BucketEvent> events;
+  sim::ProbeTrace trace;
   sim::NetCounters counters;
 };
+
+/// The counters a *serial* run would have recorded for a probe whose
+/// deferred token consume failed: everything past the policed router never
+/// happened, so keep only the optimistic counters the walk accrued before
+/// the kill point (which the trace's counted_* flags remember) and charge
+/// the policed drop itself. Works for any exchange — echo replies, ICMP
+/// errors, UDP port unreachables — not just ping-RR.
+sim::NetCounters killed_counters(const sim::ProbeTrace& trace,
+                                 bool killed_reply) {
+  sim::NetCounters serial;
+  serial.sent = 1;
+  serial.dropped_rate_limit = 1;
+  if (killed_reply) {
+    // The forward leg completed and the response was generated; only the
+    // reply leg (and its counted_response) is rolled back.
+    serial.delivered = trace.counted_delivered ? 1 : 0;
+    serial.ttl_errors = trace.counted_ttl_error ? 1 : 0;
+    serial.port_unreachables = trace.counted_port_unreachable ? 1 : 0;
+  }
+  return serial;
+}
 
 /// Folds a probe result into the compact observation, extracting the
 /// recorded RR addresses for the per-destination union.
@@ -166,7 +187,7 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
         const auto result =
             probers[v].probe(probe::ProbeSpec::ping_rr(target), &ctx);
         p.counters = ctx.counters;
-        std::swap(p.events, ctx.trace.events);
+        std::swap(p.trace, ctx.trace);
         p.obs = observe(result, target, p.recorded);
       }
     });
@@ -177,7 +198,7 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
         PendingProbe& p = pending[j * n_vps + v];
         bool killed_forward = false;
         bool killed_reply = false;
-        for (const auto& ev : p.events) {
+        for (const auto& ev : p.trace.events) {
           if (!net.try_consume_options_token(ev.router, ev.time)) {
             // A policed drop is silent: a forward-leg failure means the
             // probe never arrived anywhere, a reply-leg failure means the
@@ -190,10 +211,7 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
         if (killed_forward || killed_reply) {
           p.obs = RrObservation{};
           p.recorded.clear();
-          p.counters = sim::NetCounters{};
-          p.counters.sent = 1;
-          p.counters.delivered = killed_reply ? 1 : 0;
-          p.counters.dropped_rate_limit = 1;
+          p.counters = killed_counters(p.trace, killed_reply);
         }
         net.merge_counters(p.counters);
         campaign.observations_[v * n_dests + p.dest] = p.obs;

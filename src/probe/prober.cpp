@@ -55,6 +55,10 @@ Prober::Prober(sim::Network& network, topo::HostId source,
       interval_(1.0 / options.pps) {}
 
 ProbeResult Prober::probe(const ProbeSpec& spec, sim::SendContext* ctx) {
+  // Reset here, not just in Network::send: an early return before the send
+  // (serialize failure) must not leave the previous probe's trace behind
+  // for a deferred-replay caller to mistake for this probe's.
+  if (ctx != nullptr) ctx->trace.reset();
   const double send_time = clock_;
   clock_ += interval_;
   ++sent_;

@@ -1,5 +1,7 @@
 #include "routing/path_cache.h"
 
+#include <cassert>
+
 #include "util/rng.h"
 
 namespace rr::route {
@@ -12,7 +14,11 @@ PathCache::PathCache(PathStitcher stitcher, std::size_t max_entries)
 
 PathCache::EntryPtr PathCache::lookup(Kind kind, std::uint64_t src,
                                       std::uint64_t dst) {
-  // Ids are dense and far below 2^30, so the triple packs losslessly.
+  // Ids are dense and far below 2^30, so the triple packs losslessly; if a
+  // future topology ever breaks that, fail loudly instead of silently
+  // aliasing two pairs onto one key and routing along the wrong path.
+  assert(src < (std::uint64_t{1} << 30) && dst < (std::uint64_t{1} << 30) &&
+         "PathCache key packing requires ids below 2^30");
   const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 60) |
                             (src << 30) | dst;
   Shard& shard = shards_[util::mix64(key) % kShards];

@@ -97,7 +97,11 @@ struct BucketEvent {
 
 /// Per-send bookkeeping for deferred-bucket (concurrent) execution. The
 /// counted_* flags remember which optimistic aggregate counters this send
-/// incremented, so a later rate-limit kill can roll them back.
+/// incremented before any reply-leg bucket event, so the serial replay
+/// phase (Campaign::run pass B) can reconstruct exactly the counters a
+/// serial run would have recorded when a deferred consume fails: a
+/// forward-leg kill keeps none of them, a reply-leg kill keeps all but
+/// counted_response.
 struct ProbeTrace {
   std::vector<BucketEvent> events;
   bool counted_delivered = false;

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <cassert>
 #include <cstdlib>
 
 namespace rr::util {
@@ -30,6 +31,24 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::claim_index(std::uint64_t generation, std::size_t n,
+                             std::size_t& out) {
+  std::uint64_t cur = claim_.load(std::memory_order_relaxed);
+  while ((cur >> 32) == (generation & 0xffffffffu)) {
+    const std::size_t i = static_cast<std::size_t>(cur & 0xffffffffu);
+    if (i >= n) return false;
+    // CAS rather than fetch_add: the compared value includes the
+    // generation bits, so a claim against a region that has since been
+    // replaced fails instead of consuming an index of the new region.
+    if (claim_.compare_exchange_weak(cur, cur + 1,
+                                     std::memory_order_relaxed)) {
+      out = i;
+      return true;
+    }
+  }
+  return false;
+}
+
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
@@ -43,13 +62,19 @@ void ThreadPool::worker_loop() {
       job = job_;
       n = job_n_;
     }
+    // If this worker was preempted here until after region `seen`
+    // completed and a new one began, claim_index refuses every claim
+    // (generation mismatch), done_here stays 0, and the worker re-parks —
+    // then wakes again immediately for the newer generation.
     std::size_t done_here = 0;
-    for (;;) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
+    std::size_t i = 0;
+    while (claim_index(seen, n, i)) {
       (*job)(i);
       ++done_here;
     }
+    // Every claimed index is counted here before the region can complete,
+    // so parallel_for cannot return — and reset completed_ — while any
+    // worker still owes a contribution for its generation.
     if (done_here > 0 &&
         completed_.fetch_add(done_here, std::memory_order_acq_rel) +
                 done_here == n) {
@@ -66,25 +91,28 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  assert(n <= 0xffffffffu && "region too large for 32-bit claim index");
+  std::uint64_t gen;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
     job_n_ = n;
-    next_.store(0, std::memory_order_relaxed);
     completed_.store(0, std::memory_order_relaxed);
-    ++generation_;
+    gen = ++generation_;
+    claim_.store((gen & 0xffffffffu) << 32, std::memory_order_relaxed);
   }
   work_cv_.notify_all();
 
   // The calling thread works too.
   std::size_t done_here = 0;
-  for (;;) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) break;
+  std::size_t i = 0;
+  while (claim_index(gen, n, i)) {
     fn(i);
     ++done_here;
   }
-  completed_.fetch_add(done_here, std::memory_order_acq_rel);
+  if (done_here > 0) {
+    completed_.fetch_add(done_here, std::memory_order_acq_rel);
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock,

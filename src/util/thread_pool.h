@@ -47,6 +47,15 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Claims the next index of region `generation`, storing it in `out`.
+  /// Returns false when the region is exhausted — or when `claim_` already
+  /// belongs to a *newer* region, which happens to a worker that woke for
+  /// an old region but was preempted until after it completed. The
+  /// generation check makes such stale claims impossible: the worker
+  /// contributes nothing and re-parks instead of stealing an index (and
+  /// invoking a dangling job pointer) from the region that replaced it.
+  bool claim_index(std::uint64_t generation, std::size_t n, std::size_t& out);
+
   int threads_;
   std::vector<std::thread> workers_;
 
@@ -56,7 +65,11 @@ class ThreadPool {
   const std::function<void(std::size_t)>* job_ = nullptr;
   std::size_t job_n_ = 0;
   std::uint64_t generation_ = 0;
-  std::atomic<std::size_t> next_{0};
+  /// Generation (high 32 bits) | next unclaimed index (low 32 bits), in
+  /// one atomic so a claim can atomically verify it targets the current
+  /// region. Limits a single region to < 2^32 indices; generation reuse
+  /// would need a worker to sleep through 2^32 regions.
+  std::atomic<std::uint64_t> claim_{0};
   std::atomic<std::size_t> completed_{0};
   bool stop_ = false;
 };

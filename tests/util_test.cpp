@@ -1,13 +1,17 @@
-// Tests for the util layer: deterministic RNG and string helpers.
+// Tests for the util layer: deterministic RNG, string helpers, and the
+// worker pool.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace rr::util {
 namespace {
@@ -188,6 +192,48 @@ TEST(Flags, TracksUnusedKeys) {
 TEST(Hashing, LabelHashIsStable) {
   EXPECT_EQ(hash_label("x"), hash_label("x"));
   EXPECT_NE(hash_label("x"), hash_label("y"));
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroAndSingleThreadDegenerateCases) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+// Regression stress for the stale-worker race: a worker that wakes for
+// region G but is preempted until G completes must not claim an index of
+// the region that replaced it (invoking G's destroyed job closure). Many
+// tiny back-to-back regions — each with a fresh closure over fresh state —
+// maximize the window; a stale claim shows up as a missed or doubled index
+// (or a crash under sanitizers).
+TEST(ThreadPool, BackToBackRegionsNeverLeakWorkAcrossGenerations) {
+  ThreadPool pool(8);
+  constexpr int kRegions = 3000;
+  for (int r = 0; r < kRegions; ++r) {
+    const std::size_t n = 1 + static_cast<std::size_t>(r % 7);
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "region " << r << " index " << i;
+    }
+  }
 }
 
 }  // namespace
