@@ -1,0 +1,54 @@
+// Campaign resilience and cost under injected faults: the full ping +
+// ping-RR campaign at fault rates 0%, 1% and 10% (sim/fault.h), reporting
+// how the paper's headline response rates degrade and what the fault layer
+// costs in wall-clock. The zero-rate run doubles as a baseline: by the
+// differential harness's contract it is bit-identical to a campaign with
+// no fault plan at all, so any timing gap at rate 0 is pure plan overhead.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "measure/classify.h"
+#include "sim/fault.h"
+
+using namespace rr;
+
+int main() {
+  bench::heading("fault injection: campaign under fire");
+  bench::Telemetry telemetry{"faults"};
+  telemetry.phase("world");
+  auto config = bench::bench_config();
+  measure::Testbed testbed{config};
+  bench::record_world(telemetry, testbed);
+
+  const double rates[] = {0.0, 0.01, 0.10};
+  for (const double rate : rates) {
+    const std::string tag = rate == 0.0   ? "0"
+                            : rate == 0.01 ? "1pct"
+                                           : "10pct";
+    telemetry.phase("campaign_" + tag);
+    measure::CampaignConfig campaign_config;
+    campaign_config.faults = sim::FaultParams::uniform(rate);
+    const auto campaign = measure::Campaign::run(testbed, campaign_config);
+    const auto table = measure::build_response_table(campaign);
+
+    const auto& net = testbed.network();
+    std::printf("\nfault rate %.2f:\n", rate);
+    std::printf("  ping-responsive: %s (%s)   RR-responsive: %s (%s)\n",
+                util::with_commas(table.by_ip[0].ping_responsive).c_str(),
+                util::percent(table.by_ip[0].ping_rate()).c_str(),
+                util::with_commas(table.by_ip[0].rr_responsive).c_str(),
+                util::percent(table.by_ip[0].rr_rate()).c_str());
+    std::printf("  faults injected: %s\n",
+                util::with_commas(net.fault_counters().total()).c_str());
+
+    telemetry.value("ping_rate_" + tag, table.by_ip[0].ping_rate());
+    telemetry.value("rr_rate_" + tag, table.by_ip[0].rr_rate());
+    telemetry.value("rr_over_ping_" + tag, table.by_ip[0].rr_over_ping());
+    telemetry.value("faults_injected_" + tag, net.fault_counters().total());
+  }
+
+  bench::heading("expectation");
+  bench::report("rates degrade monotonically with the fault rate",
+                "(invariant)", "see rr_rate_{0,1pct,10pct} above");
+  return 0;
+}

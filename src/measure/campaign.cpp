@@ -25,16 +25,28 @@ struct PendingProbe {
 /// deferred token consume failed: everything past the policed router never
 /// happened, so keep only the optimistic counters the walk accrued before
 /// the kill point (which the trace's counted_* flags remember) and charge
-/// the policed drop itself. Works for any exchange — echo replies, ICMP
-/// errors, UDP port unreachables — not just ping-RR.
+/// the policed drop itself. If a fault doomed the exchange *before* the
+/// failed consume, the serial run charged the fault's own drop at the fire
+/// point and suppressed the policed one; a doom recorded after the kill
+/// point never happened serially. Works for any exchange — echo replies,
+/// ICMP errors, UDP port unreachables — not just ping-RR.
 sim::NetCounters killed_counters(const sim::ProbeTrace& trace,
-                                 bool killed_reply) {
+                                 bool killed_reply, std::size_t kill_index) {
   sim::NetCounters serial;
   serial.sent = 1;
-  serial.dropped_rate_limit = 1;
+  if (trace.doomed && kill_index >= trace.doom_after_events) {
+    if (trace.doom_charged_loss) {
+      serial.dropped_loss = 1;
+    } else {
+      serial.dropped_rate_limit = 1;
+    }
+  } else {
+    serial.dropped_rate_limit = 1;
+  }
   if (killed_reply) {
     // The forward leg completed and the response was generated; only the
-    // reply leg (and its counted_response) is rolled back.
+    // reply leg (and its counted_response) is rolled back. A forward-leg
+    // doom left these flags unset, so a ghost exchange keeps none.
     serial.delivered = trace.counted_delivered ? 1 : 0;
     serial.ttl_errors = trace.counted_ttl_error ? 1 : 0;
     serial.port_unreachables = trace.counted_port_unreachable ? 1 : 0;
@@ -91,6 +103,9 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
 
   sim::Network& net = testbed.network();
   net.reset();
+  // Install the run's fault schedule (inert by default). Setting it every
+  // run also clears any plan a previous campaign left on the network.
+  net.set_fault_plan(sim::FaultPlan{config.faults});
 
   const int threads = util::resolve_thread_count(
       config.threads > 0 ? config.threads : testbed.threads());
@@ -198,20 +213,23 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
         PendingProbe& p = pending[j * n_vps + v];
         bool killed_forward = false;
         bool killed_reply = false;
-        for (const auto& ev : p.trace.events) {
+        std::size_t kill_index = 0;
+        for (std::size_t e = 0; e < p.trace.events.size(); ++e) {
+          const auto& ev = p.trace.events[e];
           if (!net.try_consume_options_token(ev.router, ev.time)) {
             // A policed drop is silent: a forward-leg failure means the
             // probe never arrived anywhere, a reply-leg failure means the
             // response never came home. Later events of this probe would
             // not have happened (reply events always follow forward ones).
             (ev.reply_leg ? killed_reply : killed_forward) = true;
+            kill_index = e;
             break;
           }
         }
         if (killed_forward || killed_reply) {
           p.obs = RrObservation{};
           p.recorded.clear();
-          p.counters = killed_counters(p.trace, killed_reply);
+          p.counters = killed_counters(p.trace, killed_reply, kill_index);
         }
         net.merge_counters(p.counters);
         campaign.observations_[v * n_dests + p.dest] = p.obs;

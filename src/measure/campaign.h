@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "measure/testbed.h"
+#include "sim/fault.h"
 
 namespace rr::measure {
 
@@ -63,6 +64,10 @@ struct CampaignConfig {
   /// setting, which itself defaults to RROPT_THREADS or the hardware
   /// concurrency; 1 = single-threaded. Results are identical at any value.
   int threads = 0;
+  /// Fault-injection schedule applied to the network for this run (see
+  /// sim/fault.h). The default is inert: a campaign with all fault rates
+  /// at zero is bit-identical to one that predates fault injection.
+  sim::FaultParams faults;
 };
 
 class Campaign {

@@ -158,6 +158,11 @@ bool ts_stamp(std::span<std::uint8_t> datagram, net::IPv4Address address,
     const std::uint8_t flags = datagram[i + 3] & 0x0f;
     const int entry_bytes =
         flags == TimestampOption::kFlagTimestampOnly ? 4 : 8;
+    // The pointer is 1-based and must sit on an entry boundary past the
+    // 4-byte option preamble; anything else (a pointer of 0..4, or one
+    // that is misaligned) would make the writes below land on the
+    // option's own type/length/pointer bytes — or before the option.
+    if (pointer < 5 || (pointer - 5) % entry_bytes != 0) return false;
     if (pointer + entry_bytes - 1 > length) {
       // Full: bump the 4-bit overflow counter (saturating).
       const std::uint8_t overflow = datagram[i + 3] >> 4;
@@ -194,6 +199,99 @@ bool rewrite_header_checksum(std::span<std::uint8_t> datagram) noexcept {
   const std::uint16_t sum =
       net::internet_checksum(datagram.first(header_bytes));
   write_u16(datagram, 10, sum);
+  return true;
+}
+
+bool rr_truncate(std::span<std::uint8_t> datagram) noexcept {
+  const auto loc = find_rr(datagram);
+  if (!loc) return false;
+  // Zero every slot and exhaust the option (pointer one past the last
+  // slot): the record is gone and no later hop can stamp into the wreck.
+  const std::size_t data_begin = loc->option_offset + 3;
+  const std::size_t data_bytes = static_cast<std::size_t>(loc->length) - 3;
+  for (std::size_t j = 0; j < data_bytes; ++j) datagram[data_begin + j] = 0;
+  datagram[loc->option_offset + 2] =
+      static_cast<std::uint8_t>(loc->length + 1);
+  return rewrite_header_checksum(datagram);
+}
+
+bool rr_garble(std::span<std::uint8_t> datagram,
+               net::IPv4Address bogus) noexcept {
+  const auto loc = find_rr(datagram);
+  if (!loc || loc->recorded() == 0) return false;
+  // The most recent stamp sits just below the pointer (pointer is
+  // 1-based, so the slot's buffer offset is option_offset + pointer - 5).
+  const std::size_t slot = loc->option_offset + loc->pointer - 5;
+  const auto bytes = bogus.to_bytes();
+  datagram[slot] = bytes[0];
+  datagram[slot + 1] = bytes[1];
+  datagram[slot + 2] = bytes[2];
+  datagram[slot + 3] = bytes[3];
+  return rewrite_header_checksum(datagram);
+}
+
+bool strip_options(std::vector<std::uint8_t>& datagram) noexcept {
+  const std::size_t header_bytes = plausible_header_len(datagram);
+  if (header_bytes <= 20) return false;
+  const std::size_t removed = header_bytes - 20;
+  datagram.erase(datagram.begin() + 20,
+                 datagram.begin() + static_cast<std::ptrdiff_t>(header_bytes));
+  datagram[0] = static_cast<std::uint8_t>(0x40 | 5);  // version 4, IHL 5
+  const std::uint16_t total = read_u16(datagram, 2);
+  if (total >= removed) {
+    write_u16(datagram, 2,
+              static_cast<std::uint16_t>(total - removed));
+  }
+  return rewrite_header_checksum(datagram);
+}
+
+bool blank_options(std::span<std::uint8_t> datagram) noexcept {
+  const std::size_t header_bytes = plausible_header_len(datagram);
+  if (header_bytes <= 20) return false;
+  for (std::size_t i = 20; i < header_bytes; ++i) {
+    datagram[i] = 1;  // NOP
+  }
+  return rewrite_header_checksum(datagram);
+}
+
+bool corrupt_header_checksum(std::span<std::uint8_t> datagram) noexcept {
+  if (plausible_header_len(datagram) == 0) return false;
+  // Flip bits that a recompute-from-scratch cannot accidentally restore
+  // unless the sum actually matches again (probability 1/65535).
+  write_u16(datagram, 10,
+            static_cast<std::uint16_t>(read_u16(datagram, 10) ^ 0x5AA5));
+  return true;
+}
+
+bool mangle_icmp_quote(std::span<std::uint8_t> datagram) noexcept {
+  const std::size_t header_bytes = plausible_header_len(datagram);
+  if (header_bytes == 0) return false;
+  if (datagram[9] != 1) return false;  // not ICMP
+  const std::size_t total = read_u16(datagram, 2);
+  if (total > datagram.size()) return false;
+  // Type + code + checksum + unused (8) plus at least a quoted base header.
+  // Checked against `total` BEFORE subtracting: a total-length field smaller
+  // than the IHL-derived header length would otherwise underflow icmp_len.
+  if (total < header_bytes + 8 + 20) return false;
+  const std::size_t icmp_begin = header_bytes;
+  const std::size_t icmp_len = total - header_bytes;
+  const std::uint8_t type = datagram[icmp_begin];
+  if (type != 3 && type != 11 && type != 12) return false;  // not an error
+
+  // Scribble over the quoted inner header: source address and protocol.
+  const std::size_t quote = icmp_begin + 8;
+  datagram[quote + 9] ^= 0xFF;   // protocol
+  datagram[quote + 12] ^= 0xA5;  // source address, first octet
+  datagram[quote + 15] ^= 0x5A;  // source address, last octet
+
+  // Repair the ICMP checksum so the message still parses; the *quote* is
+  // what no longer matches the probe that elicited the error.
+  datagram[icmp_begin + 2] = 0;
+  datagram[icmp_begin + 3] = 0;
+  const std::uint16_t sum = net::internet_checksum(
+      datagram.subspan(icmp_begin, icmp_len));
+  datagram[icmp_begin + 2] = static_cast<std::uint8_t>(sum >> 8);
+  datagram[icmp_begin + 3] = static_cast<std::uint8_t>(sum);
   return true;
 }
 

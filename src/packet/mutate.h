@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "netbase/address.h"
 
@@ -73,5 +74,55 @@ bool ts_stamp(std::span<std::uint8_t> datagram, net::IPv4Address address,
 
 /// Recomputes the header checksum from scratch (after arbitrary edits).
 bool rewrite_header_checksum(std::span<std::uint8_t> datagram) noexcept;
+
+// ------------------------------------------------------------------------
+// Byte-surgery used by the fault-injection layer (sim/fault.h). Like the
+// forwarding-plane edits above, these mutate wire bytes in place and keep
+// the datagram structurally parseable — a fault produces a *plausible*
+// corrupted packet, not garbage the simulator itself would drop.
+
+/// Destroys a Record Route option's record: zeroes every slot and pushes
+/// the pointer past the end, leaving the option present but exhausted (a
+/// middlebox mangling the area beyond use). Deliberately *not* a pointer
+/// rewind: freeing slots would let later hops — including the probed
+/// destination — stamp where they otherwise could not, and an injected
+/// fault must never add reachability evidence. Returns false (buffer
+/// untouched) when the datagram has no valid RR option.
+bool rr_truncate(std::span<std::uint8_t> datagram) noexcept;
+
+/// Overwrites the most recently recorded RR slot with `bogus` (a byzantine
+/// device scribbling over a stamp). Returns false when there is no RR
+/// option or nothing has been recorded yet.
+bool rr_garble(std::span<std::uint8_t> datagram,
+               net::IPv4Address bogus) noexcept;
+
+/// Removes the entire IP option area: IHL collapses to 5, the payload
+/// moves up, total length shrinks, and the checksum is recomputed — the
+/// mid-path option stripping of §3.3. Returns false when the datagram is
+/// implausible or carries no options.
+bool strip_options(std::vector<std::uint8_t>& datagram) noexcept;
+
+/// Overwrites the entire IP option area with NOP padding (type 1) and
+/// recomputes the checksum: the option *contents* are destroyed but the
+/// header geometry is untouched. This is the form of option stripping the
+/// simulator injects mid-path: routers still divert the packet to the slow
+/// path and hosts still see "a packet with options", so the fault removes
+/// RR evidence without perturbing any shared rate-limiter state — erasing
+/// the area outright would free slow-path budget for *other* probes and
+/// let a fault add reachability evidence elsewhere. Returns false when the
+/// datagram is implausible or carries no options.
+bool blank_options(std::span<std::uint8_t> datagram) noexcept;
+
+/// Flips bits in the header checksum field (transmission corruption that
+/// receivers must reject, not crash on). Returns false when the buffer is
+/// not a plausible datagram.
+bool corrupt_header_checksum(std::span<std::uint8_t> datagram) noexcept;
+
+/// Perturbs the quoted inner IP header of an ICMP error message (source
+/// address and protocol of the quote) and repairs the ICMP checksum, so
+/// the packet still parses but quotation-matching probers must classify it
+/// as a mismatch. Returns false when the datagram is not an ICMP error
+/// carrying at least a full quoted header.
+bool mangle_icmp_quote(std::span<std::uint8_t> datagram) noexcept;
 
 }  // namespace rr::pkt

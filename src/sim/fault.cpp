@@ -1,0 +1,186 @@
+#include "sim/fault.h"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace rr::sim {
+
+namespace {
+
+/// Uniform [0,1) from a mixed key — same construction as the loss draws in
+/// sim/network.cpp so fault decisions share their statistical quality.
+double unit_from_key(std::uint64_t key) noexcept {
+  return static_cast<double>(util::mix64(key) >> 11) * 0x1.0p-53;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kRrTruncate: return "rr_truncate";
+    case FaultKind::kRrGarble: return "rr_garble";
+    case FaultKind::kChecksumCorrupt: return "checksum_corrupt";
+    case FaultKind::kOptionStrip: return "option_strip";
+    case FaultKind::kByzantineStamp: return "byzantine_stamp";
+    case FaultKind::kQuoteMangle: return "quote_mangle";
+    case FaultKind::kDuplicateReply: return "duplicate_reply";
+    case FaultKind::kReorderReply: return "reorder_reply";
+    case FaultKind::kStorm: return "storm";
+  }
+  return "unknown";
+}
+
+FaultParams FaultParams::uniform(double rate) noexcept {
+  FaultParams p;
+  p.rr_truncate = rate;
+  p.rr_garble = rate;
+  p.checksum_corrupt = rate;
+  p.option_strip = rate;
+  p.byzantine_stamp = rate;
+  p.quote_mangle = rate;
+  p.duplicate_reply = rate;
+  p.reorder_reply = rate;
+  p.storm = rate;
+  return p;
+}
+
+bool FaultParams::any() const noexcept {
+  return rr_truncate > 0.0 || rr_garble > 0.0 || checksum_corrupt > 0.0 ||
+         option_strip > 0.0 || byzantine_stamp > 0.0 || quote_mangle > 0.0 ||
+         duplicate_reply > 0.0 || reorder_reply > 0.0 || storm > 0.0;
+}
+
+std::optional<FaultParams> parse_fault_plan(std::string_view spec) {
+  FaultParams params;
+  if (spec.empty() || spec == "none") return params;
+
+  if (spec.rfind("uniform:", 0) == 0) {
+    double rate = 0.0;
+    if (!parse_double(spec.substr(8), rate) || rate < 0.0 || rate > 1.0) {
+      return std::nullopt;
+    }
+    return FaultParams::uniform(rate);
+  }
+
+  // A bare number is shorthand for uniform:<rate>.
+  if (spec.find('=') == std::string_view::npos) {
+    double rate = 0.0;
+    if (!parse_double(spec, rate) || rate < 0.0 || rate > 1.0) {
+      return std::nullopt;
+    }
+    return FaultParams::uniform(rate);
+  }
+
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "seed") {
+      if (!parse_u64(value, params.seed)) return std::nullopt;
+      continue;
+    }
+    double number = 0.0;
+    if (!parse_double(value, number)) return std::nullopt;
+    if (key == "rr_truncate") {
+      params.rr_truncate = number;
+    } else if (key == "rr_garble") {
+      params.rr_garble = number;
+    } else if (key == "checksum_corrupt") {
+      params.checksum_corrupt = number;
+    } else if (key == "option_strip") {
+      params.option_strip = number;
+    } else if (key == "byzantine_stamp") {
+      params.byzantine_stamp = number;
+    } else if (key == "quote_mangle") {
+      params.quote_mangle = number;
+    } else if (key == "duplicate_reply") {
+      params.duplicate_reply = number;
+    } else if (key == "reorder_reply") {
+      params.reorder_reply = number;
+    } else if (key == "storm") {
+      params.storm = number;
+    } else if (key == "storm_period_s") {
+      params.storm_period_s = number;
+    } else if (key == "reorder_delay_s") {
+      params.reorder_delay_s = number;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return params;
+}
+
+std::string to_string(const FaultParams& params) {
+  std::ostringstream out;
+  out << "faults:";
+  bool wrote = false;
+  const auto emit = [&](const char* name, double value) {
+    if (value <= 0.0) return;
+    out << ' ' << name << '=' << value;
+    wrote = true;
+  };
+  emit("rr_truncate", params.rr_truncate);
+  emit("rr_garble", params.rr_garble);
+  emit("checksum_corrupt", params.checksum_corrupt);
+  emit("option_strip", params.option_strip);
+  emit("byzantine_stamp", params.byzantine_stamp);
+  emit("quote_mangle", params.quote_mangle);
+  emit("duplicate_reply", params.duplicate_reply);
+  emit("reorder_reply", params.reorder_reply);
+  emit("storm", params.storm);
+  if (!wrote) out << " none";
+  return out.str();
+}
+
+bool FaultPlan::draw(FaultKind kind, std::uint64_t flow, int leg,
+                     std::size_t hop, double p) const noexcept {
+  if (!enabled_ || p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return unit_from_key(key(kind, flow, leg, hop)) < p;
+}
+
+double FaultPlan::reorder_delay(std::uint64_t flow) const noexcept {
+  // Strictly positive so a reordered reply is always strictly later than
+  // its in-order arrival would have been.
+  const double unit =
+      unit_from_key(key(FaultKind::kReorderReply, flow, 1, 1));
+  return params_.reorder_delay_s * (0.5 + 0.5 * unit);
+}
+
+bool FaultPlan::storm_active(topo::RouterId router,
+                             double now) const noexcept {
+  if (!enabled_ || params_.storm <= 0.0) return false;
+  const double period =
+      params_.storm_period_s > 0.0 ? params_.storm_period_s : 0.5;
+  const auto window =
+      static_cast<std::uint64_t>(std::floor(std::max(0.0, now) / period));
+  const std::uint64_t storm_key =
+      util::mix64(params_.seed ^ (static_cast<std::uint64_t>(router) << 32) ^
+                  window ^ 0x53544F524DULL);  // "STORM"
+  if (params_.storm >= 1.0) return true;
+  return unit_from_key(storm_key) < params_.storm;
+}
+
+}  // namespace rr::sim

@@ -10,9 +10,12 @@ namespace rr::sim {
 namespace {
 
 // Purposes for per-hop counter-based draws; folded into the draw key so a
-// hop's fast-path and slow-path loss draws are independent.
+// hop's fast-path and slow-path loss draws are independent. Fault-plan
+// decisions (sim/fault.h) key on their own 0xFA00+ purpose space inside
+// FaultPlan, so enabling faults never perturbs these draws.
 constexpr std::uint64_t kDrawBaseLoss = 1;
 constexpr std::uint64_t kDrawOptionsLoss = 2;
+constexpr std::uint64_t kDrawFaultAddress = 3;
 
 std::uint64_t draw_key(std::uint64_t flow, int leg, std::size_t hop,
                        std::uint64_t purpose) {
@@ -44,6 +47,7 @@ Network::Network(std::shared_ptr<const topo::Topology> topology,
 void Network::reset() {
   for (auto& [id, bucket] : buckets_) bucket.reset();
   counters_ = NetCounters{};
+  fault_counters_.reset();
 }
 
 void Network::merge_counters(const NetCounters& tally) {
@@ -87,11 +91,21 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
                                   std::span<const route::PathHop> hops,
                                   double start, topo::AsId src_as,
                                   topo::AsId dst_as, std::uint64_t flow,
-                                  int leg, SendContext* ctx) {
+                                  int leg, SendContext* ctx, bool doomed_in) {
   WalkResult result;
   NetCounters& c = counters_for(ctx);
   double now = start;
   const bool has_options = pkt::has_ip_options(bytes);
+  // A fault-doomed packet keeps walking (and keeps consuming the exact
+  // same per-router slow-path budget a fault-free walk would have) but is
+  // discarded instead of delivered — and the doom follows the *exchange*,
+  // not just this leg: a doomed probe still raises a ghost reply whose
+  // reverse walk consumes the reverse path's budget. Returning early here
+  // (or skipping the ghost reply) would *refund* token buckets, and probes
+  // that were rate-limited in the baseline could suddenly get through — a
+  // fault must never add reachability evidence, not even by side effect on
+  // shared state. At most one doom charge is made per exchange.
+  bool doomed = doomed_in;
   const double base_loss = behaviors_->params().base_loss;
   const double options_loss = behaviors_->params().options_extra_loss;
   for (std::size_t i = 0; i < hops.size(); ++i) {
@@ -101,9 +115,57 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
     const topo::AsId as = topology_->router_at(router).as_id;
     const AsBehavior& ab = behaviors_->as_behavior(as);
 
-    // Plain fast-path loss.
+    // Injected mid-path faults (sim/fault.h). Each draw is a pure function
+    // of (fault seed, flow, leg, hop, kind), so a faulted packet's fate is
+    // as reproducible as an unfaulted one, at any thread count. Faults
+    // only corrupt or remove: a stripped/garbled/corrupted packet can lose
+    // evidence of reachability downstream but can never fabricate it.
+    if (fault_plan_.enabled()) {
+      // "Stripping" blanks the option area to NOPs rather than erasing it:
+      // the header geometry (and hence every router's slow-path and
+      // filtering decision, and every host's drop policy) is identical to
+      // the baseline walk, so the fault removes RR evidence and nothing
+      // else. See pkt::blank_options.
+      if (has_options && fault_plan_.strip_options(flow, leg, i) &&
+          pkt::blank_options(bytes)) {
+        fault_counters_.note(FaultKind::kOptionStrip);
+      }
+      if (has_options && fault_plan_.truncate_rr(flow, leg, i) &&
+          pkt::rr_truncate(bytes)) {
+        fault_counters_.note(FaultKind::kRrTruncate);
+      }
+      if (has_options && fault_plan_.garble_rr(flow, leg, i) &&
+          pkt::rr_garble(bytes, fault_plan_.bogus_address(draw_key(
+                                    flow, leg, i, kDrawFaultAddress)))) {
+        fault_counters_.note(FaultKind::kRrGarble);
+      }
+      // A corrupted header checksum kills the packet at the next router's
+      // header verification, so it dooms the exchange outright. Deliberately
+      // NOT modelled by corrupting the bytes and letting an endpoint parse
+      // fail: under two corruptions with TTL decrements in between, XOR
+      // and one's-complement addition do not commute, and whether the
+      // corruptions cancel would depend on the stored checksum value —
+      // which includes the thread-order-dependent IP ID, breaking the
+      // any-thread-count determinism contract. (The bytes stay intact so
+      // the ghost exchange parses and walks exactly like the baseline.)
+      if (!doomed && fault_plan_.corrupt_checksum(flow, leg, i)) {
+        fault_counters_.note(FaultKind::kChecksumCorrupt);
+        ++c.dropped_loss;
+        doomed = true;
+        if (ctx != nullptr) {
+          ctx->trace.doomed = true;
+          ctx->trace.doom_charged_loss = true;
+          ctx->trace.doom_after_events =
+              static_cast<std::uint32_t>(ctx->trace.events.size());
+        }
+      }
+    }
+
+    // Plain fast-path loss. A doomed packet takes the same exits the
+    // baseline walk would (so shared bucket state evolves identically) but
+    // its drop was already charged at the storm hop.
     if (hash_chance(draw_key(flow, leg, i, kDrawBaseLoss), base_loss)) {
-      ++c.dropped_loss;
+      if (!doomed) ++c.dropped_loss;
       return result;
     }
 
@@ -111,8 +173,26 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
       // Slow path: the route processor sees this packet.
       if (hash_chance(draw_key(flow, leg, i, kDrawOptionsLoss),
                       options_loss)) {
-        ++c.dropped_loss;
+        if (!doomed) ++c.dropped_loss;
         return result;
+      }
+      // A rate-limit storm closes the slow path outright for a window of
+      // virtual time. The check is a stateless pure function of (router,
+      // window), so serial and deferred modes agree without replay. The
+      // packet is doomed — not returned — so it still consumes this and
+      // every downstream router's slow-path budget exactly as the
+      // baseline walk did.
+      if (!doomed && fault_plan_.enabled() &&
+          fault_plan_.storm_active(router, now)) {
+        fault_counters_.note(FaultKind::kStorm);
+        ++c.dropped_rate_limit;
+        doomed = true;
+        if (ctx != nullptr) {
+          ctx->trace.doomed = true;
+          ctx->trace.doom_charged_loss = false;
+          ctx->trace.doom_after_events =
+              static_cast<std::uint32_t>(ctx->trace.events.size());
+        }
       }
       if (rb.options_rate_pps > 0.0f) {
         if (ctx != nullptr) {
@@ -121,13 +201,13 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
           // drop, so nothing later in the walk would have differed.
           ctx->trace.events.push_back({router, now, leg != 0});
         } else if (!bucket_for(router).try_consume(now)) {
-          ++c.dropped_rate_limit;
+          if (!doomed) ++c.dropped_rate_limit;
           return result;
         }
       }
       const bool at_edge = (as == src_as) || (as == dst_as);
       if (ab.filters_transit || (at_edge && ab.filters_edge)) {
-        ++c.dropped_filter;
+        if (!doomed) ++c.dropped_filter;
         return result;
       }
     }
@@ -136,10 +216,14 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
     if (!rb.hidden) {
       const auto ttl = pkt::decrement_ttl(bytes);
       if (!ttl) {
-        ++c.dropped_ttl;
+        if (!doomed) ++c.dropped_ttl;
         return result;  // malformed or already expired
       }
       if (*ttl == 0) {
+        // A doomed packet was discarded before it could expire: no
+        // Time-Exceeded is raised. That is bucket-safe — ICMP errors carry
+        // no options, so the skipped error walk consumes no shared budget.
+        if (doomed) return result;
         result.outcome = WalkOutcome::kTtlExpired;
         result.expired_hop = i;
         result.time = now;
@@ -147,14 +231,27 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
       }
     }
 
-    // Record Route / Timestamp stamping of the outgoing interface.
+    // Record Route / Timestamp stamping of the outgoing interface. A
+    // byzantine stamper records a class-E bogus address instead — noise
+    // that analysis must tolerate but can never mistake for a real hop.
     if (has_options && rb.stamps) {
-      pkt::rr_stamp(bytes, hops[i].egress);
-      pkt::ts_stamp(bytes, hops[i].egress,
+      net::IPv4Address egress = hops[i].egress;
+      if (fault_plan_.enabled() &&
+          fault_plan_.byzantine_stamp(flow, leg, i)) {
+        egress = fault_plan_.bogus_address(
+            draw_key(flow, leg, i, kDrawFaultAddress));
+        fault_counters_.note(FaultKind::kByzantineStamp);
+      }
+      pkt::rr_stamp(bytes, egress);
+      pkt::ts_stamp(bytes, egress,
                     static_cast<std::uint32_t>(now * 1000.0));
     }
   }
+  // A doomed packet that walked the full path is still "delivered" so the
+  // endpoint raises its ghost reply — the caller must treat a doomed
+  // delivery as unobservable.
   result.outcome = WalkOutcome::kDelivered;
+  result.doomed = doomed;
   result.time = now + params_.hop_delay_s;  // final hop to the device
   return result;
 }
@@ -247,14 +344,17 @@ std::optional<Network::Delivery> Network::send(HostId src,
     case WalkOutcome::kDelivered:
       break;
   }
-  ++c.delivered;
-  if (ctx != nullptr) ctx->trace.counted_delivered = true;
+  if (!fwd.doomed) {
+    ++c.delivered;
+    if (ctx != nullptr) ctx->trace.counted_delivered = true;
+  }
 
   if (owner->kind == topo::AddressOwner::Kind::kHost) {
-    return host_respond(owner->id, *reply_to, bytes, fwd.time, flow, ctx);
+    return host_respond(owner->id, *reply_to, bytes, fwd.time, flow, ctx,
+                        fwd.doomed);
   }
   return router_respond(owner->id, *dst_addr, *reply_to, bytes, fwd.time,
-                        flow, ctx);
+                        flow, ctx, fwd.doomed);
 }
 
 std::optional<Network::Delivery> Network::emit_router_error(
@@ -275,6 +375,12 @@ std::optional<Network::Delivery> Network::emit_router_error(
                                           params_.quoted_payload_bytes);
   auto error_bytes = error.serialize();
   if (!error_bytes) return std::nullopt;
+  // A buggy/byzantine error generator quotes a mangled inner header: the
+  // message still parses, but quotation matching must reject it.
+  if (fault_plan_.enabled() && fault_plan_.mangle_quote(flow) &&
+      pkt::mangle_icmp_quote(*error_bytes)) {
+    fault_counters_.note(FaultKind::kQuoteMangle);
+  }
 
   // Route the error from the originating router back to the prober. The
   // error itself carries no options, so edge filters leave it alone.
@@ -286,12 +392,13 @@ std::optional<Network::Delivery> Network::emit_router_error(
   const topo::AsId router_as = topology_->router_at(router).as_id;
   const topo::AsId reply_as = topology_->host_at(reply_to).as_id;
   return deliver_back(std::move(*error_bytes), rev_entry->hops, time,
-                      router_as, reply_as, reply_to, flow, ctx);
+                      router_as, reply_as, reply_to, flow, ctx,
+                      /*doomed=*/false);
 }
 
 std::optional<Network::Delivery> Network::host_respond(
     HostId dst, HostId reply_to, const std::vector<std::uint8_t>& bytes,
-    double time, std::uint64_t flow, SendContext* ctx) {
+    double time, std::uint64_t flow, SendContext* ctx, bool doomed) {
   NetCounters& c = counters_for(ctx);
   const HostBehavior& hb = behaviors_->host(dst);
   const auto datagram = pkt::Datagram::parse(bytes);
@@ -337,14 +444,16 @@ std::optional<Network::Delivery> Network::host_respond(
     return deliver_back(std::move(*reply_bytes), rev_entry->hops, time,
                         topology_->host_at(dst).as_id,
                         topology_->host_at(reply_to).as_id, reply_to, flow,
-                        ctx);
+                        ctx, doomed);
   }
 
   if (const auto* udp = datagram->udp()) {
     (void)udp;  // every probed UDP port is closed in this world
     if (!hb.ping_responsive || !hb.responds_udp) return std::nullopt;
-    ++c.port_unreachables;
-    if (ctx != nullptr) ctx->trace.counted_port_unreachable = true;
+    if (!doomed) {
+      ++c.port_unreachables;
+      if (ctx != nullptr) ctx->trace.counted_port_unreachable = true;
+    }
     // Port unreachable, quoting the datagram as it arrived — including any
     // RR stamps it accrued on the forward path.
     pkt::Datagram error;
@@ -358,6 +467,10 @@ std::optional<Network::Delivery> Network::host_respond(
         params_.quoted_payload_bytes);
     auto error_bytes = error.serialize();
     if (!error_bytes) return std::nullopt;
+    if (fault_plan_.enabled() && fault_plan_.mangle_quote(flow) &&
+        pkt::mangle_icmp_quote(*error_bytes)) {
+      fault_counters_.note(FaultKind::kQuoteMangle);
+    }
     const auto rev_entry = paths_.host_path(dst, reply_to);
     if (!rev_entry->routable) {
       ++c.dropped_unroutable;
@@ -366,7 +479,7 @@ std::optional<Network::Delivery> Network::host_respond(
     return deliver_back(std::move(*error_bytes), rev_entry->hops, time,
                         topology_->host_at(dst).as_id,
                         topology_->host_at(reply_to).as_id, reply_to, flow,
-                        ctx);
+                        ctx, doomed);
   }
 
   return std::nullopt;
@@ -375,7 +488,7 @@ std::optional<Network::Delivery> Network::host_respond(
 std::optional<Network::Delivery> Network::router_respond(
     RouterId router, net::IPv4Address probed, HostId reply_to,
     const std::vector<std::uint8_t>& bytes, double time, std::uint64_t flow,
-    SendContext* ctx) {
+    SendContext* ctx, bool doomed) {
   const RouterBehavior& rb = behaviors_->router(router);
   if (!rb.responds_ping) return std::nullopt;
   const auto datagram = pkt::Datagram::parse(bytes);
@@ -404,24 +517,43 @@ std::optional<Network::Delivery> Network::router_respond(
   return deliver_back(std::move(*reply_bytes), rev_entry->hops, time,
                       topology_->router_at(router).as_id,
                       topology_->host_at(reply_to).as_id, reply_to, flow,
-                      ctx);
+                      ctx, doomed);
 }
 
 std::optional<Network::Delivery> Network::deliver_back(
     std::vector<std::uint8_t> bytes, std::span<const route::PathHop> hops,
     double start, topo::AsId src_as, topo::AsId dst_as, HostId receiver,
-    std::uint64_t flow, SendContext* ctx) {
+    std::uint64_t flow, SendContext* ctx, bool doomed) {
   const auto result =
-      walk(bytes, hops, start, src_as, dst_as, flow, /*leg=*/1, ctx);
+      walk(bytes, hops, start, src_as, dst_as, flow, /*leg=*/1, ctx, doomed);
   if (result.outcome != WalkOutcome::kDelivered) {
     // A reply that expires or is dropped on the way back simply never
     // arrives; errors about errors are not generated (RFC 1122).
     return std::nullopt;
   }
+  if (result.doomed) {
+    // The ghost leg of a fault-doomed exchange: the reverse path's budget
+    // was consumed exactly as in the baseline, but nothing arrives.
+    return std::nullopt;
+  }
   NetCounters& c = counters_for(ctx);
   ++c.responses;
   if (ctx != nullptr) ctx->trace.counted_response = true;
-  return Delivery{std::move(bytes), result.time, receiver};
+  Delivery delivery{std::move(bytes), result.time, receiver};
+  if (fault_plan_.enabled()) {
+    // Capture-point faults: an extra identical copy, or a late arrival.
+    // Neither changes the bytes, so campaign contents are untouched; the
+    // prober dedups repeats and timestamps are not observations.
+    if (fault_plan_.duplicate_reply(flow)) {
+      delivery.duplicates = 1;
+      fault_counters_.note(FaultKind::kDuplicateReply);
+    }
+    if (fault_plan_.reorder_reply(flow)) {
+      delivery.time += fault_plan_.reorder_delay(flow);
+      fault_counters_.note(FaultKind::kReorderReply);
+    }
+  }
+  return delivery;
 }
 
 }  // namespace rr::sim

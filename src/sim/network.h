@@ -55,6 +55,7 @@
 #include "routing/path_cache.h"
 #include "routing/stitcher.h"
 #include "sim/behavior.h"
+#include "sim/fault.h"
 #include "sim/token_bucket.h"
 #include "util/rng.h"
 
@@ -108,6 +109,15 @@ struct ProbeTrace {
   bool counted_response = false;
   bool counted_ttl_error = false;
   bool counted_port_unreachable = false;
+  // A fault doomed this exchange: the drop was charged when the fault
+  // fired (as dropped_loss or dropped_rate_limit), after the first
+  // `doom_after_events` bucket events had been recorded. The serial
+  // replay uses this to reconstruct which drop a serial run would have
+  // charged when a deferred consume fails: the doom charge stands only if
+  // the serial walk actually reaches the doom point.
+  bool doomed = false;
+  bool doom_charged_loss = false;
+  std::uint32_t doom_after_events = 0;
 
   void reset() {
     events.clear();
@@ -115,6 +125,9 @@ struct ProbeTrace {
     counted_response = false;
     counted_ttl_error = false;
     counted_port_unreachable = false;
+    doomed = false;
+    doom_charged_loss = false;
+    doom_after_events = 0;
   }
 };
 
@@ -139,6 +152,10 @@ class Network {
     /// unless the probe's header named another source (spoofing, as used
     /// by Reverse Traceroute): responses always follow the *header*.
     HostId receiver = topo::kNoHost;
+    /// Number of *extra* identical copies the capture point saw (injected
+    /// duplicate-reply faults). Diagnostics only: a dedup-correct prober
+    /// ignores repeats, so campaign contents are unaffected.
+    std::uint8_t duplicates = 0;
   };
 
   /// Injects `bytes` (a full IPv4 datagram) from `src` at virtual time
@@ -168,6 +185,21 @@ class Network {
   /// Resets token buckets and counters (fresh measurement campaign).
   void reset();
 
+  /// Installs a fault-injection schedule (see sim/fault.h). The default
+  /// plan is inert; installing an inert plan restores exact no-fault
+  /// behaviour — every fault draw uses its own key space, so baseline
+  /// loss/bucket decisions are untouched either way.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept {
+    return fault_plan_;
+  }
+  /// Per-kind injected-fault tallies. Diagnostics only: in deferred mode
+  /// they include faults on optimistically-walked probes that replay later
+  /// kills, so unlike NetCounters they are not thread-count-exact.
+  [[nodiscard]] const FaultCounters& fault_counters() const noexcept {
+    return fault_counters_;
+  }
+
   [[nodiscard]] const NetCounters& counters() const noexcept {
     return counters_;
   }
@@ -189,15 +221,21 @@ class Network {
     WalkOutcome outcome = WalkOutcome::kDropped;
     std::size_t expired_hop = 0;  // valid when kTtlExpired
     double time = 0.0;
+    // The packet walked the full path — consuming every token a fault-free
+    // walk would — but a fault discarded it; it must not be observed.
+    bool doomed = false;
   };
 
   /// Runs the per-hop pipeline over `hops`, mutating `bytes` in place.
   /// `flow` keys the packet's counter-based draws; `leg` is 0 on the
-  /// forward walk and 1 on any reply walk.
+  /// forward walk and 1 on any reply walk. `doomed_in` marks a ghost
+  /// continuation of an exchange a fault already discarded: the walk
+  /// consumes shared state exactly as the baseline would but charges no
+  /// further counters and the result stays doomed.
   WalkResult walk(std::vector<std::uint8_t>& bytes,
                   std::span<const route::PathHop> hops, double start,
                   topo::AsId src_as, topo::AsId dst_as, std::uint64_t flow,
-                  int leg, SendContext* ctx);
+                  int leg, SendContext* ctx, bool doomed_in = false);
 
   /// Host owning an address, if any (responses are routed to it).
   [[nodiscard]] std::optional<HostId> host_owning(
@@ -210,23 +248,25 @@ class Network {
       HostId reply_to, double time, std::uint64_t flow, SendContext* ctx);
 
   /// Response from the destination host for an echo request / UDP probe.
+  /// `doomed` continues a ghost exchange (see walk()).
   std::optional<Delivery> host_respond(HostId dst, HostId reply_to,
                                        const std::vector<std::uint8_t>& bytes,
                                        double time, std::uint64_t flow,
-                                       SendContext* ctx);
+                                       SendContext* ctx, bool doomed);
 
   /// Response from a directly probed router interface.
   std::optional<Delivery> router_respond(
       RouterId router, net::IPv4Address probed, HostId reply_to,
       const std::vector<std::uint8_t>& bytes, double time, std::uint64_t flow,
-      SendContext* ctx);
+      SendContext* ctx, bool doomed);
 
   /// Walks a response along the reverse path to `receiver`.
   std::optional<Delivery> deliver_back(std::vector<std::uint8_t> bytes,
                                        std::span<const route::PathHop> hops,
                                        double start, topo::AsId src_as,
                                        topo::AsId dst_as, HostId receiver,
-                                       std::uint64_t flow, SendContext* ctx);
+                                       std::uint64_t flow, SendContext* ctx,
+                                       bool doomed);
 
   [[nodiscard]] NetCounters& counters_for(SendContext* ctx) noexcept {
     return ctx != nullptr ? ctx->counters : counters_;
@@ -243,6 +283,8 @@ class Network {
   route::PathCache paths_;
   NetParams params_;
   NetCounters counters_;
+  FaultPlan fault_plan_;
+  FaultCounters fault_counters_;
   std::unordered_map<RouterId, TokenBucket> buckets_;
   std::vector<std::atomic<std::uint32_t>> router_ipid_count_;
   std::vector<std::atomic<std::uint32_t>> host_ipid_count_;

@@ -107,6 +107,69 @@ TEST(CampaignDeterminism, ContentsIdenticalAcrossThreadCounts) {
   expect_identical(serial, two);
 }
 
+// A FaultPlan with every rate at zero must be indistinguishable from no
+// plan at all: fault draws key on their own purpose space and a zero rate
+// never consumes randomness, so contents AND counters stay bit-identical
+// at every thread count.
+TEST(CampaignDeterminism, ZeroFaultPlanIsBitIdenticalToBaseline) {
+  TestbedConfig config;
+  config.topo_params = topo::TopologyParams::test_scale();
+  config.topo_params.seed = 7;
+  Testbed testbed{config};
+
+  CampaignConfig baseline_config;
+  baseline_config.threads = 1;
+  const Campaign baseline = Campaign::run(testbed, baseline_config);
+  const sim::NetCounters baseline_counters = testbed.network().counters();
+
+  CampaignConfig zero_fault_config;
+  zero_fault_config.faults = sim::FaultParams{};  // all rates zero
+  for (const int threads : {1, 2, 4}) {
+    zero_fault_config.threads = threads;
+    const Campaign with_plan = Campaign::run(testbed, zero_fault_config);
+    expect_identical(baseline, with_plan);
+    const sim::NetCounters c = testbed.network().counters();
+    EXPECT_EQ(baseline_counters.sent, c.sent) << threads << " threads";
+    EXPECT_EQ(baseline_counters.responses, c.responses)
+        << threads << " threads";
+    EXPECT_EQ(baseline_counters.dropped_rate_limit, c.dropped_rate_limit)
+        << threads << " threads";
+    EXPECT_EQ(testbed.network().fault_counters().total(), 0u);
+  }
+}
+
+// Fault injection preserves the determinism contract: a faulted campaign's
+// contents are also bit-identical at any thread count (every fault draw is
+// a pure function of the probe, and storm windows are stateless).
+TEST(CampaignDeterminism, FaultedContentsIdenticalAcrossThreadCounts) {
+  TestbedConfig config;
+  config.topo_params = topo::TopologyParams::test_scale();
+  config.topo_params.seed = 7;
+  Testbed testbed{config};
+
+  CampaignConfig campaign_config;
+  campaign_config.faults = sim::FaultParams::uniform(0.05);
+  campaign_config.threads = 1;
+  const Campaign serial = Campaign::run(testbed, campaign_config);
+  EXPECT_GT(testbed.network().fault_counters().total(), 0u)
+      << "the 5% plan must actually inject faults for this test to bite";
+  const sim::NetCounters serial_counters = testbed.network().counters();
+
+  for (const int threads : {2, 4}) {
+    campaign_config.threads = threads;
+    const Campaign parallel = Campaign::run(testbed, campaign_config);
+    expect_identical(serial, parallel);
+    const sim::NetCounters c = testbed.network().counters();
+    EXPECT_EQ(serial_counters.sent, c.sent) << threads << " threads";
+    EXPECT_EQ(serial_counters.delivered, c.delivered)
+        << threads << " threads";
+    EXPECT_EQ(serial_counters.responses, c.responses)
+        << threads << " threads";
+    EXPECT_EQ(serial_counters.dropped_rate_limit, c.dropped_rate_limit)
+        << threads << " threads";
+  }
+}
+
 TEST(CampaignDeterminism, RateLimitersActuallyFire) {
   // The determinism guarantee would be vacuous if the small world never
   // exercised the deferred-bucket path; make sure the campaign above

@@ -16,6 +16,7 @@
 #include "measure/reclassify.h"
 #include "measure/testbed.h"
 #include "measure/ttl_study.h"
+#include "sim/fault.h"
 
 namespace rr::measure {
 namespace {
@@ -361,6 +362,123 @@ TEST_F(MeasureTest, VpResponseCountsRevealEdgeFiltering) {
   const double frac = fraction_answering_more_than(
       *campaign_, static_cast<int>(campaign_->num_vps() * 2 / 3));
   EXPECT_GT(frac, 0.5);
+}
+
+// ------------------------------------------------------------- faults
+// These run LAST (gtest preserves declaration order): serial-mode probe
+// flow keys fold the network's global send counter, so tests that push
+// extra traffic through the shared testbed must not run before the
+// deterministic studies above.
+
+/// Installs a fault plan on the shared network and clears it again even
+/// when an ASSERT bails out of the test body early.
+class FaultPlanGuard {
+ public:
+  FaultPlanGuard(sim::Network& net, const sim::FaultParams& params)
+      : net_(net) {
+    net_.set_fault_plan(sim::FaultPlan{params});
+  }
+  ~FaultPlanGuard() { net_.set_fault_plan(sim::FaultPlan{}); }
+  FaultPlanGuard(const FaultPlanGuard&) = delete;
+  FaultPlanGuard& operator=(const FaultPlanGuard&) = delete;
+
+ private:
+  sim::Network& net_;
+};
+
+TEST_F(MeasureTest, MidarUnderFaultsLosesPairsButNeverInventsThem) {
+  // Same candidate set as the clean MIDAR test: interfaces of multi-
+  // interface routers plus singleton host addresses.
+  const auto& topology = testbed_->topology();
+  std::vector<net::IPv4Address> candidates;
+  int router_sets = 0;
+  for (topo::RouterId id = 0; id < topology.routers().size() &&
+                              router_sets < 12; ++id) {
+    const auto& router = topology.router_at(id);
+    if (router.interfaces.size() < 3) continue;
+    candidates.insert(candidates.end(), router.interfaces.begin(),
+                      router.interfaces.end());
+    ++router_sets;
+  }
+  ASSERT_GT(router_sets, 3);
+  for (std::size_t i = 0; i < 30; ++i) {
+    candidates.push_back(
+        topology.host_at(topology.destinations()[i]).address);
+  }
+
+  // Kill a few probes outright and add capture-point noise: lost or
+  // delayed samples may cost the estimation stage candidates (false
+  // negatives), but the Monotonic Bounds Test must never pair addresses
+  // that do not share a counter.
+  const auto before = testbed_->network().fault_counters().total();
+  sim::FaultParams faults;
+  faults.checksum_corrupt = 0.004;
+  faults.duplicate_reply = 0.30;
+  faults.reorder_reply = 0.10;
+  faults.reorder_delay_s = 0.05;  // jitter, not a different epoch
+  faults.seed = 0xA11A5;
+  FaultPlanGuard guard{testbed_->network(), faults};
+
+  auto prober = testbed_->make_prober(testbed_->vps().front()->host, 200.0);
+  MidarConfig config;
+  config.shard_size = 64;
+  const auto aliases = run_midar(prober, candidates, config);
+
+  std::size_t true_pairs = 0, false_pairs = 0;
+  for (const auto& set : aliases.sets()) {
+    for (std::size_t i = 0; i + 1 < set.size(); ++i) {
+      const auto truth = topology.aliases_of(set[i]);
+      if (std::find(truth.begin(), truth.end(), set[i + 1]) != truth.end()) {
+        ++true_pairs;
+      } else {
+        ++false_pairs;
+      }
+    }
+  }
+  EXPECT_GT(true_pairs, 0u);
+  EXPECT_EQ(false_pairs, 0u);
+  EXPECT_GT(testbed_->network().fault_counters().total(), before);
+}
+
+TEST_F(MeasureTest, AliasRecoveryUnderFaultsOnlyFindsTrueAliasStampers) {
+  // The §3.3 false-negative recovery under fire: destinations that
+  // stamped an alias (host_stamps_alias behaviour) are recovered via
+  // MIDAR even when faults eat some of the probes — and every recovery
+  // must be genuine. A destination recovered by the alias test must
+  // actually own aliases in the ground-truth topology; faulted evidence
+  // may shrink the recovered set but never redirects it.
+  const auto& topology = testbed_->topology();
+  const auto midar_input = midar_candidate_addresses(*campaign_);
+  ASSERT_FALSE(midar_input.empty());
+
+  const auto before = testbed_->network().fault_counters().total();
+  sim::FaultParams faults = sim::FaultParams::uniform(0.01);
+  faults.seed = 0x5E7B;
+  FaultPlanGuard guard{testbed_->network(), faults};
+
+  auto prober = testbed_->make_prober(testbed_->vps().front()->host, 200.0);
+  MidarConfig midar_config;
+  midar_config.shard_size = 128;
+  midar_config.max_addresses = 4000;
+  const auto aliases = run_midar(prober, midar_input, midar_config);
+  const auto result = reclassify(*testbed_, *campaign_, aliases);
+
+  for (std::size_t d : result.via_alias) {
+    EXPECT_TRUE(campaign_->rr_responsive(d));
+    EXPECT_FALSE(campaign_->rr_reachable(d));
+    // Ground truth: only hosts that really own alias addresses can be
+    // recovered through the alias path.
+    const auto& host = topology.host_at(campaign_->destinations()[d]);
+    EXPECT_FALSE(host.aliases.empty())
+        << "dest " << d << " recovered via alias but owns no aliases";
+  }
+  for (std::size_t d : result.via_quoted) {
+    EXPECT_TRUE(campaign_->rr_responsive(d));
+    EXPECT_FALSE(campaign_->rr_reachable(d));
+    EXPECT_EQ(std::find(result.via_alias.begin(), result.via_alias.end(),
+                        d), result.via_alias.end());
+  }
+  EXPECT_GT(testbed_->network().fault_counters().total(), before);
 }
 
 }  // namespace

@@ -415,5 +415,179 @@ TEST(Mutate, HopByHopPipelineKeepsPacketValid) {
   }
 }
 
+// ------------------------------------------------- fault-layer mutators
+
+std::size_t timestamp_option_offset(std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 20; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] == kOptTimestamp) return i;
+  }
+  ADD_FAILURE() << "no timestamp option in buffer";
+  return 0;
+}
+
+// Regression: ts_stamp used to trust the option's pointer field. A pointer
+// below 5 or one not aligned to the 8-byte (address, timestamp) entry grid
+// would land the write on the option's own type/length/pointer bytes.
+TEST(Mutate, TsStampRejectsCorruptPointer) {
+  const auto ping = make_ping_ts(IPv4Address(1, 1, 1, 1),
+                                 IPv4Address(2, 2, 2, 2), 7, 1, 64, 4);
+  for (const std::uint8_t bad_pointer : {0, 3, 4, 6, 10}) {
+    auto bytes = *ping.serialize();
+    const std::size_t opt = timestamp_option_offset(bytes);
+    bytes[opt + 2] = bad_pointer;  // 5 and 13 are the only legal small ones
+    const auto before = bytes;
+    EXPECT_FALSE(ts_stamp(bytes, IPv4Address(9, 9, 9, 9), 123))
+        << "pointer " << int{bad_pointer};
+    EXPECT_EQ(bytes, before) << "buffer must be untouched on rejection";
+  }
+}
+
+// Regression (found by tests/fuzz_packet_main.cpp under ASan): a total-
+// length field smaller than the IHL-derived header length underflowed the
+// ICMP length computation and read past the buffer while fixing the
+// checksum.
+TEST(Mutate, MangleIcmpQuoteRejectsLyingTotalLength) {
+  auto bytes = ping_bytes(9);
+  bytes[2] = 0;
+  bytes[3] = 24;  // total length 24 < 60-byte header
+  rewrite_header_checksum(bytes);
+  const auto before = bytes;
+  EXPECT_FALSE(mangle_icmp_quote(bytes));
+  EXPECT_EQ(bytes, before);
+}
+
+TEST(Mutate, FaultMutatorsRejectGarbageSafely) {
+  std::vector<std::uint8_t> garbage(64, 0xAA);
+  std::vector<std::uint8_t> tiny(4, 0x45);
+  const auto garbage_before = garbage;
+  EXPECT_FALSE(rr_truncate(garbage));
+  EXPECT_FALSE(rr_garble(garbage, IPv4Address(240, 0, 0, 1)));
+  EXPECT_FALSE(strip_options(garbage));
+  EXPECT_FALSE(mangle_icmp_quote(garbage));
+  EXPECT_EQ(garbage, garbage_before);
+  EXPECT_FALSE(rr_truncate(tiny));
+  EXPECT_FALSE(corrupt_header_checksum(tiny));
+  // A ping without options has nothing to truncate, garble, or strip.
+  auto plain = ping_bytes(0);
+  EXPECT_FALSE(rr_truncate(plain));
+  EXPECT_FALSE(rr_garble(plain, IPv4Address(240, 0, 0, 1)));
+  EXPECT_FALSE(strip_options(plain));
+}
+
+// The monotonicity contract of rr_truncate: the option must come back
+// *exhausted*, never with freed slots a later hop could stamp into.
+TEST(Mutate, RrTruncateExhaustsOptionWithoutFreeingSlots) {
+  auto bytes = ping_bytes(9);
+  ASSERT_TRUE(rr_stamp(bytes, IPv4Address(10, 0, 0, 1)));
+  ASSERT_TRUE(rr_stamp(bytes, IPv4Address(10, 0, 0, 2)));
+  ASSERT_TRUE(rr_truncate(bytes));
+  const auto loc = find_rr(bytes);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_TRUE(loc->full());
+  EXPECT_EQ(loc->free_slots(), 0);
+  EXPECT_FALSE(rr_stamp(bytes, IPv4Address(10, 0, 0, 3)));
+  // Still a valid datagram; the record is all zeros (provably bogus).
+  const auto parsed = Datagram::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* rr = parsed->header.record_route();
+  ASSERT_NE(rr, nullptr);
+  for (const auto& addr : rr->recorded) {
+    EXPECT_EQ(addr, IPv4Address{});
+  }
+}
+
+TEST(Mutate, RrGarbleOverwritesLatestStamp) {
+  auto bytes = ping_bytes(9);
+  ASSERT_TRUE(rr_stamp(bytes, IPv4Address(10, 0, 0, 1)));
+  ASSERT_TRUE(rr_stamp(bytes, IPv4Address(10, 0, 0, 2)));
+  const IPv4Address bogus(240, 1, 2, 3);
+  ASSERT_TRUE(rr_garble(bytes, bogus));
+  const auto parsed = Datagram::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* rr = parsed->header.record_route();
+  ASSERT_NE(rr, nullptr);
+  ASSERT_EQ(rr->recorded.size(), 2u);
+  EXPECT_EQ(rr->recorded[0], IPv4Address(10, 0, 0, 1));  // untouched
+  EXPECT_EQ(rr->recorded[1], bogus);
+  // An empty record has no stamp to garble.
+  auto fresh = ping_bytes(9);
+  EXPECT_FALSE(rr_garble(fresh, bogus));
+}
+
+TEST(Mutate, StripOptionsCollapsesHeaderAndStaysValid) {
+  auto bytes = ping_bytes(9, 17);
+  ASSERT_TRUE(rr_stamp(bytes, IPv4Address(10, 0, 0, 1)));
+  const std::size_t before_size = bytes.size();
+  ASSERT_TRUE(strip_options(bytes));
+  EXPECT_EQ(bytes.size(), before_size - 40);  // full RR option area removed
+  EXPECT_FALSE(has_ip_options(bytes));
+  EXPECT_EQ(*peek_ttl(bytes), 17);
+  const auto parsed = Datagram::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.record_route(), nullptr);
+  ASSERT_NE(parsed->icmp(), nullptr);  // echo payload survived the move
+}
+
+// The sim's form of option stripping: contents destroyed, geometry kept,
+// so routers/hosts make baseline-identical slow-path and drop decisions.
+TEST(Mutate, BlankOptionsKeepsGeometryButRemovesRecordRoute) {
+  auto bytes = ping_bytes(9, 21);
+  ASSERT_TRUE(rr_stamp(bytes, IPv4Address(10, 0, 0, 1)));
+  const std::size_t before_size = bytes.size();
+  ASSERT_TRUE(blank_options(bytes));
+  EXPECT_EQ(bytes.size(), before_size);
+  EXPECT_TRUE(has_ip_options(bytes));  // slow path still sees it
+  EXPECT_FALSE(find_rr(bytes).has_value());
+  EXPECT_FALSE(rr_stamp(bytes, IPv4Address(10, 0, 0, 2)));
+  const auto parsed = Datagram::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->header.options.empty());  // NOPs, not nothing
+  EXPECT_EQ(parsed->header.record_route(), nullptr);
+  // Nothing to blank without options.
+  auto plain = ping_bytes(0);
+  EXPECT_FALSE(blank_options(plain));
+}
+
+TEST(Mutate, CorruptChecksumMakesDatagramUnparseable) {
+  auto bytes = ping_bytes(9);
+  ASSERT_TRUE(Datagram::parse(bytes).has_value());
+  ASSERT_TRUE(corrupt_header_checksum(bytes));
+  EXPECT_FALSE(Ipv4Header::parse(bytes).has_value());
+  // A second corruption restores the original sum (XOR is an involution).
+  ASSERT_TRUE(corrupt_header_checksum(bytes));
+  EXPECT_TRUE(Datagram::parse(bytes).has_value());
+}
+
+TEST(Mutate, MangleIcmpQuotePerturbsQuoteButKeepsMessageValid) {
+  // Build a real router error quoting a stamped probe, as the sim does.
+  auto probe = make_ping(IPv4Address(1, 1, 1, 1), IPv4Address(2, 2, 2, 2),
+                         9, 9, 64, 9);
+  auto probe_bytes = *probe.serialize();
+  ASSERT_TRUE(rr_stamp(probe_bytes, IPv4Address(10, 0, 0, 1)));
+
+  Datagram error;
+  error.header.source = IPv4Address(10, 0, 0, 1);
+  error.header.destination = IPv4Address(1, 1, 1, 1);
+  error.header.ttl = 64;
+  error.header.protocol = IpProto::kIcmp;
+  error.payload =
+      IcmpMessage::error(IcmpType::kTimeExceeded, 0, probe_bytes, 8);
+  auto bytes = *error.serialize();
+
+  const auto original = Datagram::parse(bytes);
+  ASSERT_TRUE(original.has_value());
+  ASSERT_TRUE(mangle_icmp_quote(bytes));
+
+  // Still parses (IP and ICMP checksums repaired) ...
+  const auto mangled = Datagram::parse(bytes);
+  ASSERT_TRUE(mangled.has_value());
+  const auto* body = mangled->icmp()->error_body();
+  ASSERT_NE(body, nullptr);
+  // ... but the quoted source no longer matches the original probe.
+  const auto* original_body = original->icmp()->error_body();
+  EXPECT_NE(body->quoted_datagram, original_body->quoted_datagram);
+  EXPECT_NE(body->quoted_datagram[12], original_body->quoted_datagram[12]);
+}
+
 }  // namespace
 }  // namespace rr::pkt

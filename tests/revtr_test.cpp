@@ -177,6 +177,72 @@ TEST_F(RevTrTest, MultiSegmentMeasurementStitchesDistantPaths) {
   SUCCEED();
 }
 
+TEST_F(RevTrTest, StitchingUnderMissingAndForgedStampsStaysSound) {
+  // Faults erase stamps mid-path (truncation, storms) and forge others
+  // (garbling, byzantine stampers). Stitching must still terminate within
+  // its segment budget, and every RR-derived hop it reports must be either
+  // an injected class-E forgery — which analysis can always recognise —
+  // or an honest router that really lies on the destination's reverse
+  // path. A fault may starve the measurement; it must never reroute it.
+  sim::FaultParams faults;
+  faults.rr_truncate = 0.04;
+  faults.rr_garble = 0.08;
+  faults.byzantine_stamp = 0.08;
+  faults.storm = 0.05;
+  faults.seed = 0xBADF;
+  testbed_->network().set_fault_plan(sim::FaultPlan{faults});
+
+  RevTrConfig config;
+  config.allow_symmetric_fallback = false;
+  ReverseTraceroute revtr{*testbed_, campaign_, config};
+  const auto& topology = testbed_->topology();
+  const topo::HostId source = testbed_->vps().front()->host;
+
+  int attempted = 0, with_hops = 0;
+  for (std::size_t d = 0;
+       d < campaign_->num_destinations() && attempted < 12; d += 3) {
+    if (!campaign_->rr_reachable(d)) continue;
+    const topo::HostId dest_host = campaign_->destinations()[d];
+    const auto target = topology.host_at(dest_host).address;
+    const auto path = revtr.measure(target, source);
+    ++attempted;
+    EXPECT_LE(path.segments_used, config.max_segments);
+    if (path.measured_hops() == 0) continue;
+    ++with_hops;
+
+    std::vector<route::PathHop> truth;
+    const bool have_truth = testbed_->network().stitcher().host_path(
+        dest_host, source, truth);
+    if (!have_truth) {
+      ADD_FAILURE() << "no ground-truth reverse path for dest " << d;
+      continue;
+    }
+    std::unordered_set<std::uint32_t> truth_routers;
+    for (const auto& hop : truth) truth_routers.insert(hop.router);
+
+    for (const auto& hop : path.hops) {
+      if (hop.source != HopSource::kSpoofedRr) continue;
+      const bool class_e =
+          (hop.address.value() & 0xF0000000u) == 0xF0000000u;
+      if (class_e) continue;  // a forged stamp, never a plausible router
+      const auto owner = topology.owner_of(hop.address);
+      if (!owner.has_value() ||
+          owner->kind != topo::AddressOwner::Kind::kRouter) {
+        ADD_FAILURE() << "hop " << hop.address.to_string()
+                      << " is neither class E nor a router interface";
+        continue;
+      }
+      EXPECT_TRUE(truth_routers.contains(owner->id))
+          << "hop " << hop.address.to_string()
+          << " is not on the true reverse path of dest " << d;
+    }
+  }
+  EXPECT_GE(attempted, 5);
+  EXPECT_GT(with_hops, 0);
+  EXPECT_GT(testbed_->network().fault_counters().total(), 0u);
+  testbed_->network().set_fault_plan(sim::FaultPlan{});
+}
+
 TEST_F(RevTrTest, FallbackMarksAssumedHops) {
   // With spoofed segments disabled (zero VP tries), everything falls back
   // to the symmetric-traceroute assumption and is labelled as such.

@@ -2,7 +2,7 @@
 // freeze it into a dataset file.
 //
 //   rr-study [--ases N] [--seed S] [--epoch 2011|2016] [--stride K]
-//            [--pps R] [--out study.rrds]
+//            [--pps R] [--fault-plan SPEC] [--out study.rrds]
 //
 // The dataset can then be re-analyzed offline with rr-analyze.
 #include <cstdio>
@@ -12,6 +12,7 @@
 #include "data/dataset.h"
 #include "measure/classify.h"
 #include "measure/testbed.h"
+#include "sim/fault.h"
 #include "util/flags.h"
 #include "util/strings.h"
 
@@ -23,9 +24,13 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: rr-study [--ases N] [--seed S] [--epoch 2011|2016]\n"
         "                [--stride K] [--pps R] [--threads T]\n"
-        "                [--out FILE.rrds]\n"
+        "                [--fault-plan SPEC] [--out FILE.rrds]\n"
         "  --threads T  campaign worker threads (0 = RROPT_THREADS or all\n"
-        "               cores; results are identical at any value)\n");
+        "               cores; results are identical at any value)\n"
+        "  --fault-plan SPEC\n"
+        "               deterministic fault injection: 'none', a uniform\n"
+        "               rate ('0.01'), or knobs ('rr_garble=0.1,storm=0.05,\n"
+        "               seed=7'); see sim/fault.h for every knob\n");
     return 0;
   }
 
@@ -49,7 +54,22 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("stride", 1));
   campaign_config.vp_pps = flags.get_double("pps", 20.0);
   campaign_config.threads = static_cast<int>(flags.get_int("threads", 0));
+  const std::string fault_spec = flags.get("fault-plan", "none");
+  const auto faults = sim::parse_fault_plan(fault_spec);
+  if (!faults) {
+    std::fprintf(stderr, "error: bad --fault-plan '%s'\n", fault_spec.c_str());
+    return 1;
+  }
+  campaign_config.faults = *faults;
+  if (faults->any()) {
+    std::fprintf(stderr, "%s\n", sim::to_string(*faults).c_str());
+  }
   const auto campaign = measure::Campaign::run(testbed, campaign_config);
+  if (faults->any()) {
+    const auto& injected = testbed.network().fault_counters();
+    std::fprintf(stderr, "injected faults: %llu total\n",
+                 static_cast<unsigned long long>(injected.total()));
+  }
 
   const auto table = measure::build_response_table(campaign);
   std::printf("probed %s destinations from %zu VPs\n",
