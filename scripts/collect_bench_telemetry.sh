@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Merges the per-bench BENCH_<name>.json files in the current directory
+# into one consolidated BENCH_all.json keyed by bench name, so CI can
+# upload (and humans can diff) a single telemetry artifact per run.
+#
+#   scripts/collect_bench_telemetry.sh [dir]
+#
+# Reads and writes in [dir] (default: the current directory).
+set -u
+cd "${1:-.}"
+
+files=$(ls BENCH_*.json 2>/dev/null | grep -v '^BENCH_all\.json$' || true)
+if [[ -z "$files" ]]; then
+  echo "collect_bench_telemetry: no BENCH_*.json files found" >&2
+  exit 1
+fi
+
+{
+  printf '{\n'
+  first=1
+  for f in $files; do
+    name=${f#BENCH_}
+    name=${name%.json}
+    [[ $first -eq 0 ]] && printf ',\n'
+    first=0
+    printf '"%s": ' "$name"
+    cat "$f"
+  done
+  printf '\n}\n'
+} > BENCH_all.json
+echo "wrote $(pwd)/BENCH_all.json ($(echo "$files" | wc -w) benches)"

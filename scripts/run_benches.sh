@@ -11,13 +11,15 @@ if [[ "${1:-}" == "quick" ]]; then
   export RROPT_QUICK=1
 fi
 
-cmake -B build -G Ninja
-cmake --build build
+cmake -B build
+cmake --build build -j "$(nproc)"
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
 
 # Collect the machine-readable telemetry the benches wrote alongside the
-# textual log (one BENCH_<name>.json per bench binary).
+# textual log (one BENCH_<name>.json per bench binary), then consolidate
+# it into a single BENCH_all.json keyed by bench name.
 mkdir -p bench_telemetry
 mv -f BENCH_*.json bench_telemetry/ 2>/dev/null || true
+scripts/collect_bench_telemetry.sh bench_telemetry
 echo "telemetry: $(ls bench_telemetry 2>/dev/null | wc -l) files in bench_telemetry/"

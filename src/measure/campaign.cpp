@@ -126,19 +126,21 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
     constexpr std::size_t kPingChunk = 256;
     const std::size_t n_chunks = (n_dests + kPingChunk - 1) / kPingChunk;
     std::vector<sim::NetCounters> tallies(n_chunks);
+    std::vector<std::uint64_t> chunk_buf_growths(n_chunks, 0);
+    std::vector<std::uint64_t> chunk_scratch_growths(n_chunks, 0);
     pool.parallel_for(n_chunks, [&](std::size_t chunk) {
       const std::size_t begin = chunk * kPingChunk;
       const std::size_t end = std::min(begin + kPingChunk, n_dests);
       auto prober = testbed.make_prober(probe_host, config.vp_pps);
       sim::SendContext ctx;
+      probe::ProbeResult result;
       for (std::size_t d = begin; d < end; ++d) {
         const auto target =
             testbed.topology().host_at(campaign.dests_[d]).address;
         prober.set_clock(static_cast<double>(attempts) *
                          static_cast<double>(d) * interval);
         for (int attempt = 0; attempt < attempts; ++attempt) {
-          const auto result =
-              prober.probe(probe::ProbeSpec::ping(target), &ctx);
+          prober.probe_into(probe::ProbeSpec::ping(target), &ctx, result);
           if (result.kind == probe::ResponseKind::kEchoReply) {
             campaign.ping_responsive_[d] = 1;
             break;
@@ -146,8 +148,16 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
         }
       }
       tallies[chunk] = ctx.counters;
+      chunk_buf_growths[chunk] = prober.buffer_growths();
+      chunk_scratch_growths[chunk] = ctx.scratch.growths;
     });
-    for (const auto& tally : tallies) net.merge_counters(tally);
+    for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
+      net.merge_counters(tallies[chunk]);
+      campaign.alloc_stats_.probe_buffer_growths += chunk_buf_growths[chunk];
+      campaign.alloc_stats_.reply_scratch_growths +=
+          chunk_scratch_growths[chunk];
+    }
+    campaign.alloc_stats_.probe_streams += n_chunks;
   }
 
   // ---------------------------------------------------- ping-RR study
@@ -185,6 +195,7 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
 
   constexpr std::size_t kChunkSteps = 64;
   std::vector<sim::SendContext> contexts(n_vps);
+  std::vector<probe::ProbeResult> results(n_vps);  // reused per VP stream
   std::vector<PendingProbe> pending(kChunkSteps * n_vps);
   for (std::size_t k0 = 0; k0 < n_dests; k0 += kChunkSteps) {
     const std::size_t steps = std::min(kChunkSteps, n_dests - k0);
@@ -192,6 +203,7 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
     // Pass A: per-VP probe streams, one worker at a time per VP.
     pool.parallel_for(n_vps, [&](std::size_t v) {
       sim::SendContext& ctx = contexts[v];
+      probe::ProbeResult& result = results[v];
       for (std::size_t j = 0; j < steps; ++j) {
         const std::size_t d = orders[v][k0 + j];
         PendingProbe& p = pending[j * n_vps + v];
@@ -199,8 +211,8 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
         const auto target =
             campaign.topology_->host_at(campaign.dests_[d]).address;
         ctx.counters = sim::NetCounters{};
-        const auto result =
-            probers[v].probe(probe::ProbeSpec::ping_rr(target), &ctx);
+        probers[v].probe_into(probe::ProbeSpec::ping_rr(target), &ctx,
+                              result);
         p.counters = ctx.counters;
         std::swap(p.trace, ctx.trace);
         p.obs = observe(result, target, p.recorded);
@@ -252,6 +264,12 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
     sightings.shrink_to_fit();
     campaign.recorded_union_[d] = std::move(sightings);
   });
+
+  for (std::size_t v = 0; v < n_vps; ++v) {
+    campaign.alloc_stats_.probe_buffer_growths += probers[v].buffer_growths();
+    campaign.alloc_stats_.reply_scratch_growths += contexts[v].scratch.growths;
+  }
+  campaign.alloc_stats_.probe_streams += n_vps;
 
   campaign.finalize_derived();
 

@@ -70,6 +70,17 @@ struct CampaignConfig {
   sim::FaultParams faults;
 };
 
+/// Aggregate allocation telemetry for one campaign run: how many times the
+/// reusable probe buffers and reply scratches had to grow. Each stream's
+/// counters go flat once it has seen its largest probe/reply geometry, so
+/// identical back-to-back runs report identical (and small) totals —
+/// asserted by the steady-state allocation test.
+struct CampaignAllocStats {
+  std::uint64_t probe_buffer_growths = 0;  // Prober::buffer_growths() sum
+  std::uint64_t reply_scratch_growths = 0;  // SendContext scratch growths
+  std::uint64_t probe_streams = 0;  // probers contributing to the totals
+};
+
 class Campaign {
  public:
   /// Runs the full campaign on a testbed.
@@ -134,6 +145,11 @@ class Campaign {
   [[nodiscard]] std::vector<std::size_t> rr_responsive_indices() const;
   [[nodiscard]] std::vector<std::size_t> rr_reachable_indices() const;
 
+  /// Allocation telemetry from the run (see CampaignAllocStats).
+  [[nodiscard]] const CampaignAllocStats& alloc_stats() const noexcept {
+    return alloc_stats_;
+  }
+
  private:
   /// Single pass over the observation matrix filling the per-destination
   /// summary caches above.
@@ -148,6 +164,7 @@ class Campaign {
   std::vector<std::uint8_t> rr_responsive_bits_;
   std::vector<std::uint8_t> rr_reachable_bits_;
   std::vector<std::uint16_t> responding_vp_counts_;
+  CampaignAllocStats alloc_stats_;
 };
 
 }  // namespace rr::measure

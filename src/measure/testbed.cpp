@@ -35,8 +35,8 @@ void Testbed::init() {
   for (const auto& cloud : topology_->clouds()) {
     sources.push_back(topology_->host_at(cloud.probe_host).as_id);
   }
-  oracle_ = std::make_unique<route::RoutingOracle>(topology_, config_.epoch,
-                                                   std::move(sources));
+  oracle_ = std::make_unique<route::RoutingOracle>(
+      topology_, config_.epoch, std::move(sources), config_.threads);
   network_ = std::make_unique<sim::Network>(topology_, behaviors_, *oracle_,
                                             config_.net_params);
   util::log_info() << "testbed ready (epoch "

@@ -27,4 +27,32 @@ namespace rr::net {
 /// whole buffer must be zero.
 [[nodiscard]] bool checksum_ok(std::span<const std::uint8_t> data) noexcept;
 
+/// RFC 1624 incremental checksum updater: HC' = ~(~HC + sum(~m + m')) over
+/// the changed 16-bit words. For a buffer whose stored checksum is valid
+/// (i.e. produced by a full RFC 1071 recompute, so it lies in the canonical
+/// range 0x0000..0xFFFE), `apply` yields bit-identical results to zeroing
+/// the field and recomputing from scratch — including the 0xFFFF-fold edge
+/// cases — because both sums reduce to the same nonzero one's-complement
+/// representative.
+class IncrementalChecksum {
+ public:
+  /// Notes that the 16-bit word `old_word` was rewritten to `new_word`.
+  void update(std::uint16_t old_word, std::uint16_t new_word) noexcept {
+    sum_ += static_cast<std::uint32_t>(~old_word & 0xffff);
+    sum_ += new_word;
+    if (sum_ >= 0xffff0000u) sum_ = (sum_ & 0xffff) + (sum_ >> 16);
+  }
+
+  /// Returns the updated checksum given the previously stored one.
+  [[nodiscard]] std::uint16_t apply(std::uint16_t old_checksum) const noexcept {
+    std::uint32_t sum =
+        sum_ + static_cast<std::uint32_t>(~old_checksum & 0xffff);
+    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+  }
+
+ private:
+  std::uint32_t sum_ = 0;
+};
+
 }  // namespace rr::net

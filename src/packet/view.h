@@ -1,0 +1,70 @@
+// Mutable zero-copy view over a serialized IPv4 datagram.
+//
+// `Network::walk` mutates the same buffer dozens of times per probe (TTL
+// decrement plus RR/TS stamps at every stamping hop). The free functions in
+// mutate.h re-scan the options area and recompute the full header checksum
+// on every call; this view locates the first RR and TS options once, then
+// performs each mutation in O(1) with an RFC 1624 incremental checksum
+// update. Results are bit-identical to the mutate.h functions for every
+// buffer the simulator produces (see view_wire_test.cpp), including after
+// the fault injections (blank_options / rr_truncate / rr_garble) which
+// change option *content* in place but never move option boundaries — the
+// cached offsets stay valid and the type/length/pointer bytes are
+// revalidated on every call.
+//
+// The one case where an incremental update would diverge from mutate.h is a
+// buffer whose stored checksum is already invalid (the corrupt-checksum
+// fault): the legacy full recompute silently repairs it at the next stamp.
+// Callers that corrupt the checksum must call `mark_checksum_dirty()`; the
+// next stamping mutation then does one full recompute (matching the legacy
+// repair) and reverts to incremental updates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "netbase/address.h"
+
+namespace rr::pkt {
+
+class Ipv4HeaderView {
+ public:
+  /// Binds to a datagram buffer. If the buffer does not plausibly start
+  /// with an IPv4 header the view is inert: `valid()` is false, mutations
+  /// fail, and `has_options()` is false — mirroring the mutate.h functions
+  /// on the same buffer.
+  explicit Ipv4HeaderView(std::span<std::uint8_t> datagram) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return header_bytes_ != 0; }
+  [[nodiscard]] bool has_options() const noexcept { return header_bytes_ > 20; }
+  [[nodiscard]] std::size_t header_bytes() const noexcept {
+    return header_bytes_;
+  }
+
+  /// See mutate.h `decrement_ttl`: same result, same bytes.
+  std::optional<std::uint8_t> decrement_ttl() noexcept;
+
+  /// See mutate.h `rr_stamp` / `ts_stamp`: same result, same bytes, O(1).
+  bool rr_stamp(net::IPv4Address address) noexcept;
+  bool ts_stamp(net::IPv4Address address, std::uint32_t timestamp_ms) noexcept;
+
+  /// The stored header checksum may be invalid; the next stamp performs a
+  /// full recompute (as the legacy full-rewrite path would) instead of an
+  /// incremental update.
+  void mark_checksum_dirty() noexcept { checksum_dirty_ = true; }
+
+ private:
+  static constexpr std::size_t kNone = 0;
+
+  void finish_stamp(std::span<const std::size_t> words,
+                    std::span<const std::uint16_t> old_words) noexcept;
+
+  std::span<std::uint8_t> data_;
+  std::size_t header_bytes_ = 0;
+  std::size_t rr_offset_ = kNone;  // offset of the first RR option, 0 = none
+  std::size_t ts_offset_ = kNone;  // offset of the first TS option, 0 = none
+  bool checksum_dirty_ = false;
+};
+
+}  // namespace rr::pkt

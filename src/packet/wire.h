@@ -1,0 +1,144 @@
+// Zero-allocation wire-format access for the probe hot path.
+//
+// `Datagram::parse` and the make_*()/serialize() pairs materialize vectors
+// of options, ICMP payload copies, and a fresh byte buffer per packet. One
+// probe exchange performs that dance four times (build probe, parse at the
+// endpoint, build reply, parse at the prober). The functions here do the
+// same work directly against byte buffers:
+//
+//  - `inspect_datagram` / `inspect_header` accept and reject exactly the
+//    same buffers as `Datagram::parse` / `Ipv4Header::parse` (same checksum
+//    checks, same option grammar, same ICMP type whitelist) but only record
+//    offsets and scalar fields — no allocation.
+//  - `build_*` write byte-for-byte what make_*().serialize() would produce,
+//    into a caller-owned reusable vector.
+//  - The reply transforms reproduce what the simulated endpoints in
+//    `sim::Network` build via parse → Datagram → serialize. Echo replies
+//    that keep the request's options reuse the request buffer in place:
+//    the raw option area of every simulator-generated packet (including
+//    fault-blanked/truncated/garbled ones) round-trips unchanged through
+//    parse_options → serialize_options, so copying the bytes equals
+//    re-serializing the parsed options. view_wire_test.cpp asserts all of
+//    these equivalences against the legacy paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/address.h"
+
+namespace rr::pkt {
+
+/// Scalar summary of a validated packet; all offsets are absolute into the
+/// inspected buffer. A populated value means `Datagram::parse` (or
+/// `Ipv4Header::parse` for `inspect_header`) would have succeeded.
+struct WireInfo {
+  std::size_t header_bytes = 0;
+  std::uint16_t total_length = 0;
+  std::uint8_t ttl = 0;
+  std::uint8_t protocol = 0;
+  std::uint16_t identification = 0;
+  net::IPv4Address source;
+  net::IPv4Address destination;
+  bool options_present = false;  // any parsed option, NOPs included
+  std::size_t rr_offset = 0;     // first RR option; 0 = none
+  std::size_t ts_offset = 0;     // first TS option; 0 = none
+
+  // Transport fields (populated by inspect_datagram only).
+  std::uint8_t icmp_type = 0;
+  std::uint8_t icmp_code = 0;
+  std::uint16_t echo_identifier = 0;  // ICMP types 0/8
+  std::uint16_t echo_sequence = 0;
+  std::size_t quote_offset = 0;  // ICMP types 3/11; 0 = none
+  std::size_t quote_length = 0;
+  std::uint16_t udp_source_port = 0;
+  std::uint16_t udp_destination_port = 0;
+};
+
+/// Validates a full datagram with `Datagram::parse` acceptance semantics.
+[[nodiscard]] std::optional<WireInfo> inspect_datagram(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Validates a (possibly truncated-quote) header with `Ipv4Header::parse`
+/// acceptance semantics: no total-length-vs-buffer or transport checks.
+[[nodiscard]] std::optional<WireInfo> inspect_header(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// Decoded geometry of a validated RR / TS option (fields were already
+/// checked by inspect_*, so these never fail on an inspected buffer).
+struct RrWire {
+  std::uint8_t capacity = 0;
+  std::uint8_t filled = 0;
+  std::size_t offset = 0;
+};
+struct TsWire {
+  std::uint8_t flags = 0;
+  std::uint8_t overflow = 0;
+  std::uint8_t capacity = 0;
+  std::uint8_t filled = 0;
+  std::uint8_t entry_bytes = 4;
+  std::size_t offset = 0;
+};
+
+[[nodiscard]] RrWire rr_wire(std::span<const std::uint8_t> data,
+                             std::size_t rr_offset) noexcept;
+[[nodiscard]] net::IPv4Address rr_slot(std::span<const std::uint8_t> data,
+                                       const RrWire& rr,
+                                       std::size_t index) noexcept;
+[[nodiscard]] TsWire ts_wire(std::span<const std::uint8_t> data,
+                             std::size_t ts_offset) noexcept;
+struct TsEntryWire {
+  net::IPv4Address address;
+  std::uint32_t timestamp_ms = 0;
+};
+[[nodiscard]] TsEntryWire ts_entry(std::span<const std::uint8_t> data,
+                                   const TsWire& ts,
+                                   std::size_t index) noexcept;
+
+// --- probe builders (byte-identical to make_*().serialize()) -------------
+
+void build_ping(std::vector<std::uint8_t>& out, net::IPv4Address source,
+                net::IPv4Address destination, std::uint16_t identifier,
+                std::uint16_t sequence, std::uint8_t ttl, int rr_slots);
+
+void build_ping_ts(std::vector<std::uint8_t>& out, net::IPv4Address source,
+                   net::IPv4Address destination, std::uint16_t identifier,
+                   std::uint16_t sequence, std::uint8_t ttl, int ts_slots);
+
+void build_udp_probe(std::vector<std::uint8_t>& out, net::IPv4Address source,
+                     net::IPv4Address destination, std::uint16_t source_port,
+                     std::uint16_t destination_port, std::uint8_t ttl,
+                     int rr_slots);
+
+// --- endpoint reply construction ------------------------------------------
+
+/// Turns a validated echo request into the echo reply the simulated host
+/// would serialize, reusing the buffer: addresses swapped, ttl 64, fresh
+/// IP-ID, ICMP type 0, options kept verbatim. Checksums are NOT final —
+/// callers apply any endpoint stamps, then call `finalize_checksums`.
+void echo_reply_inplace(std::span<std::uint8_t> bytes, const WireInfo& info,
+                        std::uint16_t ip_id) noexcept;
+
+/// Recomputes the ICMP checksum over [header_bytes, total) and then the
+/// header checksum, in serialize order.
+void finalize_checksums(std::span<std::uint8_t> bytes,
+                        std::size_t header_bytes, std::size_t total) noexcept;
+
+/// Builds the option-less echo reply (host strips options, or router does
+/// not stamp) into `out`, byte-identical to the legacy reply serialize.
+void build_echo_reply_stripped(std::vector<std::uint8_t>& out,
+                               std::span<const std::uint8_t> request,
+                               const WireInfo& info, std::uint16_t ip_id);
+
+/// Builds an ICMP error (time-exceeded / dest-unreachable) quoting the
+/// offending datagram, byte-identical to the legacy
+/// IcmpMessage::error + serialize path.
+void build_icmp_error(std::vector<std::uint8_t>& out, std::uint8_t icmp_type,
+                      std::uint8_t icmp_code, net::IPv4Address source,
+                      net::IPv4Address destination, std::uint16_t ip_id,
+                      std::span<const std::uint8_t> offending,
+                      std::size_t quoted_payload_bytes);
+
+}  // namespace rr::pkt

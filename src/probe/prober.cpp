@@ -1,8 +1,11 @@
 #include "probe/prober.h"
 
-#include "packet/datagram.h"
-#include "packet/mutate.h"
+#include <utility>
+
+#include "packet/icmp.h"
+#include "packet/ipv4.h"
 #include "packet/udp.h"
+#include "packet/wire.h"
 
 namespace rr::probe {
 
@@ -54,112 +57,122 @@ Prober::Prober(sim::Network& network, topo::HostId source,
       clock_(options.start_time),
       interval_(1.0 / options.pps) {}
 
-ProbeResult Prober::probe(const ProbeSpec& spec, sim::SendContext* ctx) {
+void Prober::probe_into(const ProbeSpec& spec, sim::SendContext* ctx,
+                        ProbeResult& out) {
   // Reset here, not just in Network::send: an early return before the send
-  // (serialize failure) must not leave the previous probe's trace behind
+  // must not leave the previous probe's trace (or result fields) behind
   // for a deferred-replay caller to mistake for this probe's.
+  out.reset();
   if (ctx != nullptr) ctx->trace.reset();
   const double send_time = clock_;
   clock_ += interval_;
   ++sent_;
   const std::uint16_t seq = next_seq_++;
 
-  pkt::Datagram datagram;
+  const std::size_t capacity_before = buf_.capacity();
   if (spec.type == ProbeType::kPingRrUdp) {
     const std::uint16_t dst_port = static_cast<std::uint16_t>(
         pkt::kUdpProbePortBase + (next_udp_port_++ % 256));
-    datagram = pkt::make_udp_probe(source_address_, spec.target,
-                                   static_cast<std::uint16_t>(0x8000 | seq),
-                                   dst_port, spec.ttl, spec.rr_slots);
+    pkt::build_udp_probe(buf_, source_address_, spec.target,
+                         static_cast<std::uint16_t>(0x8000 | seq), dst_port,
+                         spec.ttl, spec.rr_slots);
   } else if (spec.type == ProbeType::kPingTs) {
-    datagram = pkt::make_ping_ts(source_address_, spec.target, icmp_id_, seq,
-                                 spec.ttl, spec.rr_slots);
+    pkt::build_ping_ts(buf_, source_address_, spec.target, icmp_id_, seq,
+                       spec.ttl, spec.rr_slots);
   } else {
     const int slots = spec.type == ProbeType::kPingRr ? spec.rr_slots : 0;
-    datagram = pkt::make_ping(source_address_, spec.target, icmp_id_, seq,
-                              spec.ttl, slots);
+    pkt::build_ping(buf_, source_address_, spec.target, icmp_id_, seq,
+                    spec.ttl, slots);
   }
 
-  ProbeResult result;
-  result.target = spec.target;
-  result.type = spec.type;
-  result.send_time = send_time;
+  out.target = spec.target;
+  out.type = spec.type;
+  out.send_time = send_time;
 
-  auto bytes = datagram.serialize();
-  if (!bytes) return result;
-  const auto delivery =
-      network_->send(source_, std::move(*bytes), send_time, ctx);
-  if (!delivery) return result;
-  return parse_response(spec, seq, send_time, *delivery);
+  auto delivery = network_->send_reusing(source_, buf_, send_time, ctx);
+  if (delivery) {
+    parse_response_into(spec, seq, send_time, *delivery, out);
+    // Reclaim the response's storage (it was the probe buffer, or a reply
+    // scratch swapped for it): the next probe builds into it.
+    buf_ = std::move(delivery->bytes);
+  }
+  if (buf_.capacity() != capacity_before) ++buffer_growths_;
 }
 
-ProbeResult Prober::parse_response(const ProbeSpec& spec, std::uint16_t seq,
-                                   double send_time,
-                                   const sim::Network::Delivery& delivery) {
-  ProbeResult result;
-  result.target = spec.target;
-  result.type = spec.type;
-  result.send_time = send_time;
+void Prober::parse_response_into(const ProbeSpec& spec, std::uint16_t seq,
+                                 double send_time,
+                                 const sim::Network::Delivery& delivery,
+                                 ProbeResult& out) {
+  const auto info = pkt::inspect_datagram(delivery.bytes);
+  if (!info) return;
+  if (info->protocol != static_cast<std::uint8_t>(pkt::IpProto::kIcmp)) {
+    return;
+  }
 
-  const auto reply = pkt::Datagram::parse(delivery.bytes);
-  if (!reply) return result;
-  const auto* icmp = reply->icmp();
-  if (!icmp) return result;
+  out.responder = info->source;
+  out.reply_ip_id = info->identification;
 
-  result.responder = reply->header.source;
-  result.reply_ip_id = reply->header.identification;
-
-  if (icmp->type == pkt::IcmpType::kEchoReply) {
-    const auto* echo = icmp->echo();
-    if (!echo || echo->identifier != icmp_id_ || echo->sequence != seq) {
+  if (info->icmp_type == static_cast<std::uint8_t>(pkt::IcmpType::kEchoReply)) {
+    if (info->echo_identifier != icmp_id_ || info->echo_sequence != seq) {
       ++mismatched_;
-      return result;
+      return;
     }
-    result.kind = ResponseKind::kEchoReply;
-    result.rtt = delivery.time - send_time;
-    if (const auto* rr = reply->header.record_route()) {
-      result.rr_option_in_reply = true;
-      result.rr_recorded = rr->recorded;
-      result.rr_free_slots = rr->remaining_slots();
-    }
-    if (const auto* ts = pkt::find_timestamp(reply->header.options)) {
-      result.ts_option_in_reply = true;
-      for (const auto& entry : ts->entries) {
-        result.ts_entries.emplace_back(entry.address, entry.timestamp_ms);
+    out.kind = ResponseKind::kEchoReply;
+    out.rtt = delivery.time - send_time;
+    if (info->rr_offset != 0) {
+      const auto rr = pkt::rr_wire(delivery.bytes, info->rr_offset);
+      out.rr_option_in_reply = true;
+      for (std::size_t i = 0; i < rr.filled; ++i) {
+        out.rr_recorded.push_back(pkt::rr_slot(delivery.bytes, rr, i));
       }
-      result.ts_overflow = ts->overflow;
+      out.rr_free_slots = rr.capacity - rr.filled;
+    }
+    if (info->ts_offset != 0) {
+      const auto ts = pkt::ts_wire(delivery.bytes, info->ts_offset);
+      out.ts_option_in_reply = true;
+      for (std::size_t i = 0; i < ts.filled; ++i) {
+        const auto entry = pkt::ts_entry(delivery.bytes, ts, i);
+        out.ts_entries.emplace_back(entry.address, entry.timestamp_ms);
+      }
+      out.ts_overflow = ts.overflow;
     }
     ++matched_;
-    return result;
+    return;
   }
 
-  // ICMP errors: validate against the quoted datagram.
-  const auto* body = icmp->error_body();
-  if (!body) return result;
-  const auto quoted_header = pkt::Ipv4Header::parse(body->quoted_datagram);
-  if (!quoted_header || quoted_header->destination != spec.target ||
-      quoted_header->source != source_address_) {
+  // ICMP errors: validate against the quoted datagram. Echo *requests*
+  // (the only other whitelisted type) carry no quote and fall out here,
+  // exactly like the legacy error_body() == nullptr path.
+  if (info->quote_offset == 0) return;
+  const auto quoted = std::span<const std::uint8_t>{delivery.bytes}.subspan(
+      info->quote_offset, info->quote_length);
+  const auto q = pkt::inspect_header(quoted);
+  if (!q || q->destination != spec.target || q->source != source_address_) {
     ++mismatched_;
-    return result;
+    return;
   }
 
-  if (icmp->type == pkt::IcmpType::kTimeExceeded) {
-    result.kind = ResponseKind::kTtlExceeded;
-  } else if (icmp->type == pkt::IcmpType::kDestUnreachable &&
-             icmp->code == pkt::kCodePortUnreachable) {
-    result.kind = ResponseKind::kPortUnreachable;
+  if (info->icmp_type ==
+      static_cast<std::uint8_t>(pkt::IcmpType::kTimeExceeded)) {
+    out.kind = ResponseKind::kTtlExceeded;
+  } else if (info->icmp_type ==
+                 static_cast<std::uint8_t>(pkt::IcmpType::kDestUnreachable) &&
+             info->icmp_code == pkt::kCodePortUnreachable) {
+    out.kind = ResponseKind::kPortUnreachable;
   } else {
     ++mismatched_;
-    return result;
+    return;
   }
-  result.rtt = delivery.time - send_time;
-  if (const auto* rr = quoted_header->record_route()) {
-    result.quoted_rr_present = true;
-    result.quoted_rr = rr->recorded;
-    result.quoted_rr_free_slots = rr->remaining_slots();
+  out.rtt = delivery.time - send_time;
+  if (q->rr_offset != 0) {
+    const auto rr = pkt::rr_wire(quoted, q->rr_offset);
+    out.quoted_rr_present = true;
+    for (std::size_t i = 0; i < rr.filled; ++i) {
+      out.quoted_rr.push_back(pkt::rr_slot(quoted, rr, i));
+    }
+    out.quoted_rr_free_slots = rr.capacity - rr.filled;
   }
   ++matched_;
-  return result;
 }
 
 TracerouteResult Prober::traceroute(net::IPv4Address target, int max_ttl,

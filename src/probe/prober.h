@@ -37,7 +37,20 @@ class Prober {
   /// sim::SendContext). The clock still advances one paced slot per call
   /// whether or not a response arrives, so send times — and therefore
   /// outcomes — depend only on the probe stream, not on thread timing.
-  ProbeResult probe(const ProbeSpec& spec, sim::SendContext* ctx);
+  ProbeResult probe(const ProbeSpec& spec, sim::SendContext* ctx) {
+    ProbeResult result;
+    probe_into(spec, ctx, result);
+    return result;
+  }
+
+  /// Allocation-free probe: builds the datagram in the prober's reusable
+  /// buffer, sends it with Network::send_reusing, parses the response
+  /// without materializing a Datagram, and reclaims the delivery's storage.
+  /// `out` is reset first (its vectors keep their capacity), so a caller
+  /// that reuses one result performs zero heap allocations per exchange
+  /// once the buffers have warmed up.
+  void probe_into(const ProbeSpec& spec, sim::SendContext* ctx,
+                  ProbeResult& out);
 
   /// Classic traceroute: TTL-limited pings until the target answers or
   /// `max_ttl` is exhausted; `attempts` tries per hop.
@@ -61,11 +74,17 @@ class Prober {
   [[nodiscard]] std::uint64_t mismatched() const noexcept {
     return mismatched_;
   }
+  /// Times the reusable probe buffer's capacity grew across a probe — flat
+  /// once the largest probe/reply geometry has been seen.
+  [[nodiscard]] std::uint64_t buffer_growths() const noexcept {
+    return buffer_growths_;
+  }
 
  private:
-  [[nodiscard]] ProbeResult parse_response(
-      const ProbeSpec& spec, std::uint16_t seq, double send_time,
-      const sim::Network::Delivery& delivery);
+  void parse_response_into(const ProbeSpec& spec, std::uint16_t seq,
+                           double send_time,
+                           const sim::Network::Delivery& delivery,
+                           ProbeResult& out);
 
   sim::Network* network_;
   topo::HostId source_;
@@ -78,6 +97,8 @@ class Prober {
   std::uint64_t sent_ = 0;
   std::uint64_t matched_ = 0;
   std::uint64_t mismatched_ = 0;
+  std::vector<std::uint8_t> buf_;  // probe/reply storage, recycled
+  std::uint64_t buffer_growths_ = 0;
 };
 
 }  // namespace rr::probe

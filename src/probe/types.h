@@ -83,6 +83,27 @@ struct ProbeResult {
     return kind != ResponseKind::kNone;
   }
 
+  /// Returns the result to its default state while keeping the vectors'
+  /// storage, so a reused result allocates nothing once warmed up.
+  void reset() noexcept {
+    target = net::IPv4Address{};
+    type = ProbeType::kPing;
+    kind = ResponseKind::kNone;
+    responder = net::IPv4Address{};
+    rr_option_in_reply = false;
+    rr_recorded.clear();
+    rr_free_slots = 0;
+    ts_option_in_reply = false;
+    ts_entries.clear();
+    ts_overflow = 0;
+    quoted_rr_present = false;
+    quoted_rr.clear();
+    quoted_rr_free_slots = 0;
+    reply_ip_id = 0;
+    send_time = 0.0;
+    rtt = -1.0;
+  }
+
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -1,8 +1,7 @@
 #include "routing/bgp.h"
 
 #include <algorithm>
-#include <queue>
-#include <tuple>
+#include <functional>
 
 namespace rr::route {
 
@@ -10,18 +9,21 @@ namespace {
 constexpr int class_rank(RouteClass c) noexcept { return static_cast<int>(c); }
 }  // namespace
 
-std::vector<AsId> RouteTree::as_path_from(AsId src) const {
-  std::vector<AsId> path;
+void RouteTree::as_path_into(AsId src, std::vector<AsId>& out) const {
+  out.clear();
   AsId current = src;
   // Valley-free paths cannot exceed the AS count; use a small sane bound.
   for (int guard = 0; guard < 64; ++guard) {
-    path.push_back(current);
-    if (current == destination_) return path;
+    out.push_back(current);
+    if (current == destination_) return;
     const RouteEntry& entry = entries_[current];
-    if (!entry.reachable() || entry.next_hop == topo::kNoAs) return {};
+    if (!entry.reachable() || entry.next_hop == topo::kNoAs) {
+      out.clear();
+      return;
+    }
     current = entry.next_hop;
   }
-  return {};  // loop guard tripped: treat as unreachable
+  out.clear();  // loop guard tripped: treat as unreachable
 }
 
 BgpEngine::BgpEngine(std::shared_ptr<const topo::Topology> topology,
@@ -51,24 +53,36 @@ BgpEngine::BgpEngine(std::shared_ptr<const topo::Topology> topology,
 }
 
 RouteTree BgpEngine::compute_tree(AsId destination) const {
+  TreeScratch scratch;
+  compute_tree_into(destination, scratch);
+  return RouteTree{destination, std::move(scratch.entries)};
+}
+
+void BgpEngine::compute_tree_into(AsId destination,
+                                  TreeScratch& scratch) const {
   const std::size_t n = topology_->ases().size();
-  std::vector<RouteEntry> entries(n);
+  auto& entries = scratch.entries;
+  entries.assign(n, RouteEntry{});
 
   // Phase 1 — customer routes: BFS from the destination along
   // customer->provider edges. An AS X on such a chain learned the route
   // from the customer below it.
-  std::vector<std::uint16_t> customer_dist(
-      n, std::numeric_limits<std::uint16_t>::max());
+  auto& customer_dist = scratch.customer_dist;
+  customer_dist.assign(n, std::numeric_limits<std::uint16_t>::max());
   customer_dist[destination] = 0;
   entries[destination] = RouteEntry{destination, 0, RouteClass::kSelf};
-  std::vector<AsId> frontier{destination};
+  auto& frontier = scratch.frontier;
+  auto& next_frontier = scratch.next_frontier;
+  frontier.clear();
+  frontier.push_back(destination);
   std::uint16_t level = 0;
   while (!frontier.empty()) {
     ++level;
-    std::vector<AsId> next_frontier;
+    next_frontier.clear();
     for (AsId below : frontier) {
       for (AsId provider : providers_[below]) {
-        if (customer_dist[provider] != std::numeric_limits<std::uint16_t>::max()) {
+        if (customer_dist[provider] !=
+            std::numeric_limits<std::uint16_t>::max()) {
           continue;
         }
         customer_dist[provider] = level;
@@ -77,13 +91,16 @@ RouteTree BgpEngine::compute_tree(AsId destination) const {
       }
     }
     std::sort(next_frontier.begin(), next_frontier.end());
-    frontier = std::move(next_frontier);
+    std::swap(frontier, next_frontier);
   }
 
   // Phase 2 — peer routes: one peer edge, then a customer chain down.
   // Only ASes without a customer route take these.
   for (AsId as = 0; as < n; ++as) {
-    if (class_rank(entries[as].route_class) <= class_rank(RouteClass::kCustomer)) continue;
+    if (class_rank(entries[as].route_class) <=
+        class_rank(RouteClass::kCustomer)) {
+      continue;
+    }
     RouteEntry best = entries[as];
     for (AsId peer : peers_[as]) {
       if (customer_dist[peer] == std::numeric_limits<std::uint16_t>::max()) {
@@ -102,23 +119,36 @@ RouteTree BgpEngine::compute_tree(AsId destination) const {
   // Phase 3 — provider routes: Dijkstra over provider->customer edges,
   // seeded by every AS that already selected a (customer/peer/self) route.
   // An AS exports its selected route to its customers, so provider routes
-  // chain downward with unit cost per hop.
+  // chain downward with unit cost per hop. The heap lives in the scratch;
+  // push_heap/pop_heap with greater<> pop in exactly the order
+  // std::priority_queue (which wraps these very calls) would.
   using HeapItem = std::tuple<std::uint16_t, AsId, AsId>;  // len, parent, as
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  auto& heap = scratch.heap;
+  heap.clear();
+  const auto heap_push = [&heap](HeapItem item) {
+    heap.push_back(item);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  };
   for (AsId as = 0; as < n; ++as) {
     if (entries[as].reachable()) {
       for (AsId customer : customers_[as]) {
-        if (class_rank(entries[customer].route_class) <= class_rank(RouteClass::kPeer)) continue;
-        heap.emplace(static_cast<std::uint16_t>(entries[as].length + 1), as,
-                     customer);
+        if (class_rank(entries[customer].route_class) <=
+            class_rank(RouteClass::kPeer)) {
+          continue;
+        }
+        heap_push({static_cast<std::uint16_t>(entries[as].length + 1), as,
+                   customer});
       }
     }
   }
   while (!heap.empty()) {
-    const auto [len, parent, as] = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [len, parent, as] = heap.back();
+    heap.pop_back();
     RouteEntry& entry = entries[as];
-    if (class_rank(entry.route_class) <= class_rank(RouteClass::kPeer)) continue;  // prefers better
+    if (class_rank(entry.route_class) <= class_rank(RouteClass::kPeer)) {
+      continue;  // prefers better
+    }
     if (entry.route_class == RouteClass::kProvider &&
         (entry.length < len ||
          (entry.length == len && entry.next_hop <= parent))) {
@@ -126,12 +156,13 @@ RouteTree BgpEngine::compute_tree(AsId destination) const {
     }
     entry = RouteEntry{parent, len, RouteClass::kProvider};
     for (AsId customer : customers_[as]) {
-      if (class_rank(entries[customer].route_class) <= class_rank(RouteClass::kPeer)) continue;
-      heap.emplace(static_cast<std::uint16_t>(len + 1), as, customer);
+      if (class_rank(entries[customer].route_class) <=
+          class_rank(RouteClass::kPeer)) {
+        continue;
+      }
+      heap_push({static_cast<std::uint16_t>(len + 1), as, customer});
     }
   }
-
-  return RouteTree{destination, std::move(entries)};
 }
 
 }  // namespace rr::route

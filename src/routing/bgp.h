@@ -14,6 +14,8 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "topology/topology.h"
@@ -57,11 +59,36 @@ class RouteTree {
 
   /// AS path from `src` to the destination, inclusive on both ends.
   /// Empty when unreachable.
-  [[nodiscard]] std::vector<AsId> as_path_from(AsId src) const;
+  [[nodiscard]] std::vector<AsId> as_path_from(AsId src) const {
+    std::vector<AsId> path;
+    as_path_into(src, path);
+    return path;
+  }
+
+  /// Same, but fills a caller-owned vector (cleared first) so repeated
+  /// queries reuse its storage. `out` is empty when unreachable.
+  void as_path_into(AsId src, std::vector<AsId>& out) const;
+
+  /// Takes the entries storage back out (leaving the tree empty). Sweep
+  /// loops use this to recycle the vector through their TreeScratch.
+  [[nodiscard]] std::vector<RouteEntry> release_entries() noexcept {
+    return std::move(entries_);
+  }
 
  private:
   AsId destination_;
   std::vector<RouteEntry> entries_;
+};
+
+/// Reusable working set for compute_tree_into: one tree computation's
+/// entries, BFS state and heap, recycled across calls so a sweep over many
+/// destinations allocates only while the vectors are still growing.
+struct TreeScratch {
+  std::vector<RouteEntry> entries;
+  std::vector<std::uint16_t> customer_dist;
+  std::vector<AsId> frontier;
+  std::vector<AsId> next_frontier;
+  std::vector<std::tuple<std::uint16_t, AsId, AsId>> heap;  // len, parent, as
 };
 
 /// Per-epoch BGP engine: owns the epoch-filtered adjacency and computes
@@ -77,6 +104,14 @@ class BgpEngine {
 
   /// Computes the full route tree toward `destination` (uncached).
   [[nodiscard]] RouteTree compute_tree(AsId destination) const;
+
+  /// Same computation into a reusable scratch: the selected routes land in
+  /// `scratch.entries` (indexed by AS) and every working vector keeps its
+  /// storage for the next call. The route selection — including every
+  /// tie-break — is identical to compute_tree: the Dijkstra phase drives
+  /// push_heap/pop_heap over the scratch vector, which is exactly how
+  /// std::priority_queue orders its pops.
+  void compute_tree_into(AsId destination, TreeScratch& scratch) const;
 
   /// Epoch-filtered adjacency, exposed for diagnostics/tests.
   [[nodiscard]] const std::vector<AsId>& customers_of(AsId as) const noexcept {

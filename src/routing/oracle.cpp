@@ -3,11 +3,35 @@
 #include <algorithm>
 
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace rr::route {
 
+namespace {
+
+/// Per-thread tree-computation scratch for the construction sweep. Reused
+/// across every block a worker processes (and across oracle builds on the
+/// same thread), so the sweep's steady state allocates only for results.
+TreeScratch& thread_scratch() {
+  thread_local TreeScratch scratch;
+  return scratch;
+}
+
+constexpr std::size_t kSweepBlock = 256;  // destinations per work item
+
+/// One block's share of the destination sweep: a mini-arena laid out in
+/// the same (destination, source) order the serial sweep uses, plus
+/// per-(source, destination) offsets into it (+1, so 0 = unreachable).
+struct SweepBlock {
+  std::vector<AsId> arena;
+  std::vector<std::uint32_t> rel_offsets;  // si * block_size + (dst - begin)
+};
+
+}  // namespace
+
 RoutingOracle::RoutingOracle(std::shared_ptr<const topo::Topology> topology,
-                             Epoch epoch, std::vector<AsId> source_ases)
+                             Epoch epoch, std::vector<AsId> source_ases,
+                             int threads)
     : engine_(std::move(topology), epoch), sources_(std::move(source_ases)) {
   std::sort(sources_.begin(), sources_.end());
   sources_.erase(std::unique(sources_.begin(), sources_.end()),
@@ -17,69 +41,132 @@ RoutingOracle::RoutingOracle(std::shared_ptr<const topo::Topology> topology,
   }
 
   const std::size_t n = engine_.topology().ases().size();
-  forward_offsets_.assign(sources_.size() * n, 0);
+  const std::size_t n_sources = sources_.size();
+  forward_offsets_.assign(n_sources * n, 0);
   arena_.push_back(topo::kNoAs);  // slot 0 = unreachable sentinel
 
-  // Pin the trees toward each source (reverse-path service).
-  for (AsId src : sources_) {
-    pinned_.emplace(src,
-                    std::make_unique<RouteTree>(engine_.compute_tree(src)));
-  }
+  util::ThreadPool pool(util::resolve_thread_count(threads));
 
-  // One sweep: a tree per destination AS, extracting each source's path.
-  for (AsId dst = 0; dst < n; ++dst) {
-    const RouteTree tree = engine_.compute_tree(dst);
-    for (std::uint32_t si = 0; si < sources_.size(); ++si) {
-      const auto path = tree.as_path_from(sources_[si]);
-      if (path.empty()) continue;
-      forward_offsets_[si * n + dst] =
-          static_cast<std::uint32_t>(arena_.size());
-      arena_.push_back(static_cast<AsId>(path.size()));
-      arena_.insert(arena_.end(), path.begin(), path.end());
+  // Pin the trees toward each source (reverse-path service).
+  {
+    std::vector<std::unique_ptr<RouteTree>> trees(n_sources);
+    pool.parallel_for(n_sources, [&](std::size_t i) {
+      TreeScratch& scratch = thread_scratch();
+      engine_.compute_tree_into(sources_[i], scratch);
+      trees[i] = std::make_unique<RouteTree>(sources_[i], scratch.entries);
+    });
+    for (std::size_t i = 0; i < n_sources; ++i) {
+      pinned_.emplace(sources_[i], std::move(trees[i]));
     }
   }
-  util::log_debug() << "routing oracle: " << sources_.size() << " sources, "
-                    << n << " destination trees, arena "
+
+  // The destination sweep: one tree per destination AS, extracting each
+  // source's path. Workers fill independent blocks; the serial merge below
+  // concatenates them in destination order, so the arena layout is
+  // byte-identical to a serial sweep at any thread count.
+  const std::size_t n_blocks = (n + kSweepBlock - 1) / kSweepBlock;
+  std::vector<SweepBlock> blocks(n_blocks);
+  pool.parallel_for(n_blocks, [&](std::size_t b) {
+    const AsId begin = static_cast<AsId>(b * kSweepBlock);
+    const AsId end = static_cast<AsId>(std::min(n, (b + 1) * kSweepBlock));
+    SweepBlock& block = blocks[b];
+    block.rel_offsets.assign(n_sources * (end - begin), 0);
+    TreeScratch& scratch = thread_scratch();
+    std::vector<AsId> path;
+    for (AsId dst = begin; dst < end; ++dst) {
+      engine_.compute_tree_into(dst, scratch);
+      RouteTree tree{dst, std::move(scratch.entries)};
+      for (std::uint32_t si = 0; si < n_sources; ++si) {
+        tree.as_path_into(sources_[si], path);
+        if (path.empty()) continue;
+        block.rel_offsets[si * (end - begin) + (dst - begin)] =
+            static_cast<std::uint32_t>(block.arena.size() + 1);
+        block.arena.push_back(static_cast<AsId>(path.size()));
+        block.arena.insert(block.arena.end(), path.begin(), path.end());
+      }
+      scratch.entries = tree.release_entries();
+    }
+  });
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const AsId begin = static_cast<AsId>(b * kSweepBlock);
+    const AsId end = static_cast<AsId>(std::min(n, (b + 1) * kSweepBlock));
+    SweepBlock& block = blocks[b];
+    const std::uint32_t base = static_cast<std::uint32_t>(arena_.size());
+    for (AsId dst = begin; dst < end; ++dst) {
+      for (std::uint32_t si = 0; si < n_sources; ++si) {
+        const std::uint32_t rel =
+            block.rel_offsets[si * (end - begin) + (dst - begin)];
+        if (rel == 0) continue;
+        forward_offsets_[si * n + dst] = base + rel - 1;
+      }
+    }
+    arena_.insert(arena_.end(), block.arena.begin(), block.arena.end());
+    block.arena.clear();
+    block.arena.shrink_to_fit();
+  }
+
+  util::log_debug() << "routing oracle: " << n_sources << " sources, " << n
+                    << " destination trees, arena "
                     << arena_.size() * sizeof(AsId) / 1024 << " KiB";
 }
 
 std::vector<AsId> RoutingOracle::as_path(AsId src, AsId dst) {
-  if (src == dst) return {src};
+  std::vector<AsId> storage;
+  const auto view = path_view(src, dst, storage);
+  if (view.data() == storage.data()) return storage;
+  return {view.begin(), view.end()};
+}
+
+std::span<const AsId> RoutingOracle::path_view(AsId src, AsId dst,
+                                               std::vector<AsId>& storage) {
+  if (src == dst) {
+    storage.assign(1, src);
+    return {storage.data(), 1};
+  }
 
   if (const auto it = source_index_.find(src); it != source_index_.end()) {
     const std::size_t n = engine_.topology().ases().size();
     const std::uint32_t offset = forward_offsets_[it->second * n + dst];
     if (offset == 0) return {};
     const AsId length = arena_[offset];
-    return {arena_.begin() + offset + 1,
-            arena_.begin() + offset + 1 + length};
+    return {arena_.data() + offset + 1, static_cast<std::size_t>(length)};
   }
 
   if (const auto it = pinned_.find(dst); it != pinned_.end()) {
-    return it->second->as_path_from(src);
+    it->second->as_path_into(src, storage);
+    return {storage.data(), storage.size()};
   }
 
-  return fallback_path(src, dst);
+  fallback_path_into(src, dst, storage);
+  return {storage.data(), storage.size()};
 }
 
 bool RoutingOracle::reachable(AsId src, AsId dst) {
-  return src == dst || !as_path(src, dst).empty();
+  if (src == dst) return true;
+  std::vector<AsId> storage;
+  return !path_view(src, dst, storage).empty();
 }
 
-std::vector<AsId> RoutingOracle::fallback_path(AsId src, AsId dst) {
+void RoutingOracle::fallback_path_into(AsId src, AsId dst,
+                                       std::vector<AsId>& out) {
   std::lock_guard<std::mutex> lock(fallback_mu_);
   if (const auto it = fallback_.find(dst); it != fallback_.end()) {
-    return it->second->as_path_from(src);
-  }
-  if (fallback_order_.size() >= kFallbackCacheSize) {
-    fallback_.erase(fallback_order_.front());
-    fallback_order_.erase(fallback_order_.begin());
+    it->second->as_path_into(src, out);
+    return;
   }
   auto tree = std::make_unique<RouteTree>(engine_.compute_tree(dst));
   const RouteTree& ref = *tree;
+  if (fallback_order_.size() >= kFallbackCacheSize) {
+    // Ring replacement: overwrite the oldest slot and advance, instead of
+    // the old erase(begin()) which shifted the whole order vector.
+    fallback_.erase(fallback_order_[fallback_evict_at_]);
+    fallback_order_[fallback_evict_at_] = dst;
+    fallback_evict_at_ = (fallback_evict_at_ + 1) % kFallbackCacheSize;
+  } else {
+    fallback_order_.push_back(dst);
+  }
   fallback_.emplace(dst, std::move(tree));
-  fallback_order_.push_back(dst);
-  return ref.as_path_from(src);
+  ref.as_path_into(src, out);
 }
 
 }  // namespace rr::route

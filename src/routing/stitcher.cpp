@@ -63,7 +63,11 @@ bool PathStitcher::assemble(std::optional<HostId> src_host,
     entry = *src_router;  // excluded from the sequence itself
   }
 
-  const auto as_path = oracle_->as_path(src_as, dst_as);
+  // Span view: source-origin queries (every campaign forward path) alias
+  // the oracle's arena directly — no per-assembly path copy.
+  std::vector<topo::AsId> path_storage;
+  const std::span<const topo::AsId> as_path =
+      oracle_->path_view(src_as, dst_as, path_storage);
   if (as_path.empty()) return false;
 
   for (std::size_t i = 0; i + 1 < as_path.size(); ++i) {

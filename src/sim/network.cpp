@@ -1,9 +1,13 @@
 #include "sim/network.h"
 
 #include <bit>
+#include <utility>
 
-#include "packet/datagram.h"
+#include "packet/icmp.h"
+#include "packet/ipv4.h"
 #include "packet/mutate.h"
+#include "packet/view.h"
+#include "packet/wire.h"
 
 namespace rr::sim {
 
@@ -29,6 +33,15 @@ bool hash_chance(std::uint64_t key, double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return static_cast<double>(util::mix64(key) >> 11) * 0x1.0p-53 < p;
+}
+
+/// Runs a reply build against the scratch, counting capacity growths so
+/// steady-state allocation-freedom is observable.
+template <typename BuildFn>
+void build_into_scratch(ReplyScratch& scratch, BuildFn&& build) {
+  const std::size_t capacity = scratch.bytes.capacity();
+  build(scratch.bytes);
+  if (scratch.bytes.capacity() != capacity) ++scratch.growths;
 }
 
 }  // namespace
@@ -95,7 +108,12 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
   WalkResult result;
   NetCounters& c = counters_for(ctx);
   double now = start;
-  const bool has_options = pkt::has_ip_options(bytes);
+  // One view per leg: option offsets are located once, and every per-hop
+  // TTL decrement and RR/TS stamp below is an O(1) in-place mutation with
+  // an RFC 1624 incremental checksum update — bit-identical to the full
+  // rescan-and-recompute mutate.h path (see packet/view.h).
+  pkt::Ipv4HeaderView view{bytes};
+  const bool has_options = view.has_options();
   // A fault-doomed packet keeps walking (and keeps consuming the exact
   // same per-router slow-path budget a fault-free walk would have) but is
   // discarded instead of delivered — and the doom follows the *exchange*,
@@ -120,6 +138,8 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
     // as reproducible as an unfaulted one, at any thread count. Faults
     // only corrupt or remove: a stripped/garbled/corrupted packet can lose
     // evidence of reachability downstream but can never fabricate it.
+    // They rewrite option *content* in place without moving option
+    // boundaries, so the view's cached offsets stay valid.
     if (fault_plan_.enabled()) {
       // "Stripping" blanks the option area to NOPs rather than erasing it:
       // the header geometry (and hence every router's slow-path and
@@ -214,7 +234,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
 
     // TTL handling (hidden routers forward without decrementing).
     if (!rb.hidden) {
-      const auto ttl = pkt::decrement_ttl(bytes);
+      const auto ttl = view.decrement_ttl();
       if (!ttl) {
         if (!doomed) ++c.dropped_ttl;
         return result;  // malformed or already expired
@@ -242,9 +262,8 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
             draw_key(flow, leg, i, kDrawFaultAddress));
         fault_counters_.note(FaultKind::kByzantineStamp);
       }
-      pkt::rr_stamp(bytes, egress);
-      pkt::ts_stamp(bytes, egress,
-                    static_cast<std::uint32_t>(now * 1000.0));
+      view.rr_stamp(egress);
+      view.ts_stamp(egress, static_cast<std::uint32_t>(now * 1000.0));
     }
   }
   // A doomed packet that walked the full path is still "delivered" so the
@@ -267,6 +286,12 @@ std::optional<HostId> Network::host_owning(net::IPv4Address addr) const {
 std::optional<Network::Delivery> Network::send(HostId src,
                                                std::vector<std::uint8_t> bytes,
                                                double time, SendContext* ctx) {
+  return send_reusing(src, bytes, time, ctx);
+}
+
+std::optional<Network::Delivery> Network::send_reusing(
+    HostId src, std::vector<std::uint8_t>& bytes, double time,
+    SendContext* ctx) {
   NetCounters& c = counters_for(ctx);
   if (ctx != nullptr) ctx->trace.reset();
   ++c.sent;
@@ -359,28 +384,24 @@ std::optional<Network::Delivery> Network::send(HostId src,
 
 std::optional<Network::Delivery> Network::emit_router_error(
     RouterId router, net::IPv4Address from, std::uint8_t icmp_type,
-    std::uint8_t code, const std::vector<std::uint8_t>& offending,
-    HostId reply_to, double time, std::uint64_t flow, SendContext* ctx) {
+    std::uint8_t code, std::vector<std::uint8_t>& offending, HostId reply_to,
+    double time, std::uint64_t flow, SendContext* ctx) {
   const auto probe_src = pkt::peek_source(offending);
   if (!probe_src) return std::nullopt;
 
-  pkt::Datagram error;
-  error.header.source = from;
-  error.header.destination = *probe_src;
-  error.header.ttl = 64;
-  error.header.protocol = pkt::IpProto::kIcmp;
-  error.header.identification = next_ip_id(/*is_router=*/true, router, time);
-  error.payload = pkt::IcmpMessage::error(static_cast<pkt::IcmpType>(icmp_type),
-                                          code, offending,
-                                          params_.quoted_payload_bytes);
-  auto error_bytes = error.serialize();
-  if (!error_bytes) return std::nullopt;
+  const std::uint16_t ip_id = next_ip_id(/*is_router=*/true, router, time);
+  ReplyScratch& scratch = scratch_for(ctx);
+  build_into_scratch(scratch, [&](std::vector<std::uint8_t>& out) {
+    pkt::build_icmp_error(out, icmp_type, code, from, *probe_src, ip_id,
+                          offending, params_.quoted_payload_bytes);
+  });
   // A buggy/byzantine error generator quotes a mangled inner header: the
   // message still parses, but quotation matching must reject it.
   if (fault_plan_.enabled() && fault_plan_.mangle_quote(flow) &&
-      pkt::mangle_icmp_quote(*error_bytes)) {
+      pkt::mangle_icmp_quote(scratch.bytes)) {
     fault_counters_.note(FaultKind::kQuoteMangle);
   }
+  std::swap(offending, scratch.bytes);
 
   // Route the error from the originating router back to the prober. The
   // error itself carries no options, so edge filters leave it alone.
@@ -391,137 +412,139 @@ std::optional<Network::Delivery> Network::emit_router_error(
   }
   const topo::AsId router_as = topology_->router_at(router).as_id;
   const topo::AsId reply_as = topology_->host_at(reply_to).as_id;
-  return deliver_back(std::move(*error_bytes), rev_entry->hops, time,
-                      router_as, reply_as, reply_to, flow, ctx,
-                      /*doomed=*/false);
+  return deliver_back(offending, rev_entry->hops, time, router_as, reply_as,
+                      reply_to, flow, ctx, /*doomed=*/false);
 }
 
 std::optional<Network::Delivery> Network::host_respond(
-    HostId dst, HostId reply_to, const std::vector<std::uint8_t>& bytes,
-    double time, std::uint64_t flow, SendContext* ctx, bool doomed) {
+    HostId dst, HostId reply_to, std::vector<std::uint8_t>& bytes, double time,
+    std::uint64_t flow, SendContext* ctx, bool doomed) {
   NetCounters& c = counters_for(ctx);
   const HostBehavior& hb = behaviors_->host(dst);
-  const auto datagram = pkt::Datagram::parse(bytes);
-  if (!datagram) return std::nullopt;
+  const auto info = pkt::inspect_datagram(bytes);
+  if (!info) return std::nullopt;
 
   // A host that ignores options packets ignores them for every transport.
-  const bool has_options = !datagram->header.options.empty();
+  const bool has_options = info->options_present;
   if (has_options && hb.rr_handling == RrHandling::kDrop) return std::nullopt;
 
-  pkt::Datagram reply;
-  reply.header.destination = datagram->header.source;
-  reply.header.ttl = 64;
-  reply.header.identification = next_ip_id(/*is_router=*/false, dst, time);
+  // The host's IP-ID counter ticks for any accepted datagram, matching the
+  // legacy reply construction which drew the ID before deciding whether a
+  // reply would actually be produced.
+  const std::uint16_t ip_id = next_ip_id(/*is_router=*/false, dst, time);
 
-  if (const auto* icmp = datagram->icmp()) {
-    if (icmp->type != pkt::IcmpType::kEchoRequest) return std::nullopt;
+  if (info->protocol == static_cast<std::uint8_t>(pkt::IpProto::kIcmp)) {
+    if (info->icmp_type !=
+        static_cast<std::uint8_t>(pkt::IcmpType::kEchoRequest)) {
+      return std::nullopt;
+    }
     if (!hb.ping_responsive) return std::nullopt;
-    reply.header.source = datagram->header.destination;
-    reply.header.protocol = pkt::IpProto::kIcmp;
-    reply.payload = pkt::IcmpMessage::echo_reply_for(*icmp->echo());
     if (has_options && hb.rr_handling == RrHandling::kCopy) {
       // RFC 1122 behaviour: the reply carries the request's Record Route
       // option; the destination records itself if a slot remains (and some
-      // devices record an alias rather than the probed address).
-      reply.header.options = datagram->header.options;
-      if (auto* rr = reply.header.record_route();
-          rr != nullptr && hb.stamps_self) {
-        rr->stamp(hb.stamp_address);
+      // devices record an alias rather than the probed address). Same
+      // geometry as the request, so the reply is the request buffer
+      // transformed in place.
+      pkt::echo_reply_inplace(bytes, *info, ip_id);
+      if (hb.stamps_self) {
+        pkt::rr_stamp(bytes, hb.stamp_address);
+        pkt::ts_stamp(bytes, hb.stamp_address,
+                      static_cast<std::uint32_t>(time * 1000.0));
       }
-      if (auto* ts = pkt::find_timestamp(reply.header.options);
-          ts != nullptr && hb.stamps_self) {
-        ts->stamp(hb.stamp_address,
-                  static_cast<std::uint32_t>(time * 1000.0));
-      }
-    }
-    auto reply_bytes = reply.serialize();
-    if (!reply_bytes) return std::nullopt;
-    const auto rev_entry = paths_.host_path(dst, reply_to);
-    if (!rev_entry->routable) {
-      ++c.dropped_unroutable;
-      return std::nullopt;
-    }
-    return deliver_back(std::move(*reply_bytes), rev_entry->hops, time,
-                        topology_->host_at(dst).as_id,
-                        topology_->host_at(reply_to).as_id, reply_to, flow,
-                        ctx, doomed);
-  }
-
-  if (const auto* udp = datagram->udp()) {
-    (void)udp;  // every probed UDP port is closed in this world
-    if (!hb.ping_responsive || !hb.responds_udp) return std::nullopt;
-    if (!doomed) {
-      ++c.port_unreachables;
-      if (ctx != nullptr) ctx->trace.counted_port_unreachable = true;
-    }
-    // Port unreachable, quoting the datagram as it arrived — including any
-    // RR stamps it accrued on the forward path.
-    pkt::Datagram error;
-    error.header.source = datagram->header.destination;
-    error.header.destination = datagram->header.source;
-    error.header.ttl = 64;
-    error.header.protocol = pkt::IpProto::kIcmp;
-    error.header.identification = next_ip_id(false, dst, time);
-    error.payload = pkt::IcmpMessage::error(
-        pkt::IcmpType::kDestUnreachable, pkt::kCodePortUnreachable, bytes,
-        params_.quoted_payload_bytes);
-    auto error_bytes = error.serialize();
-    if (!error_bytes) return std::nullopt;
-    if (fault_plan_.enabled() && fault_plan_.mangle_quote(flow) &&
-        pkt::mangle_icmp_quote(*error_bytes)) {
-      fault_counters_.note(FaultKind::kQuoteMangle);
+      pkt::finalize_checksums(bytes, info->header_bytes, info->total_length);
+    } else {
+      ReplyScratch& scratch = scratch_for(ctx);
+      build_into_scratch(scratch, [&](std::vector<std::uint8_t>& out) {
+        pkt::build_echo_reply_stripped(out, bytes, *info, ip_id);
+      });
+      std::swap(bytes, scratch.bytes);
     }
     const auto rev_entry = paths_.host_path(dst, reply_to);
     if (!rev_entry->routable) {
       ++c.dropped_unroutable;
       return std::nullopt;
     }
-    return deliver_back(std::move(*error_bytes), rev_entry->hops, time,
+    return deliver_back(bytes, rev_entry->hops, time,
                         topology_->host_at(dst).as_id,
                         topology_->host_at(reply_to).as_id, reply_to, flow,
                         ctx, doomed);
   }
 
-  return std::nullopt;
+  // inspect_datagram only accepts ICMP or UDP, so this is the UDP branch:
+  // every probed UDP port is closed in this world.
+  if (!hb.ping_responsive || !hb.responds_udp) return std::nullopt;
+  if (!doomed) {
+    ++c.port_unreachables;
+    if (ctx != nullptr) ctx->trace.counted_port_unreachable = true;
+  }
+  // Port unreachable, quoting the datagram as it arrived — including any
+  // RR stamps it accrued on the forward path.
+  const std::uint16_t error_id = next_ip_id(false, dst, time);
+  ReplyScratch& scratch = scratch_for(ctx);
+  build_into_scratch(scratch, [&](std::vector<std::uint8_t>& out) {
+    pkt::build_icmp_error(
+        out, static_cast<std::uint8_t>(pkt::IcmpType::kDestUnreachable),
+        pkt::kCodePortUnreachable, info->destination, info->source, error_id,
+        bytes, params_.quoted_payload_bytes);
+  });
+  if (fault_plan_.enabled() && fault_plan_.mangle_quote(flow) &&
+      pkt::mangle_icmp_quote(scratch.bytes)) {
+    fault_counters_.note(FaultKind::kQuoteMangle);
+  }
+  std::swap(bytes, scratch.bytes);
+  const auto rev_entry = paths_.host_path(dst, reply_to);
+  if (!rev_entry->routable) {
+    ++c.dropped_unroutable;
+    return std::nullopt;
+  }
+  return deliver_back(bytes, rev_entry->hops, time,
+                      topology_->host_at(dst).as_id,
+                      topology_->host_at(reply_to).as_id, reply_to, flow, ctx,
+                      doomed);
 }
 
 std::optional<Network::Delivery> Network::router_respond(
     RouterId router, net::IPv4Address probed, HostId reply_to,
-    const std::vector<std::uint8_t>& bytes, double time, std::uint64_t flow,
+    std::vector<std::uint8_t>& bytes, double time, std::uint64_t flow,
     SendContext* ctx, bool doomed) {
   const RouterBehavior& rb = behaviors_->router(router);
   if (!rb.responds_ping) return std::nullopt;
-  const auto datagram = pkt::Datagram::parse(bytes);
-  if (!datagram) return std::nullopt;
-  const auto* icmp = datagram->icmp();
-  if (!icmp || icmp->type != pkt::IcmpType::kEchoRequest) return std::nullopt;
-
-  pkt::Datagram reply;
-  reply.header.source = probed;
-  reply.header.destination = datagram->header.source;
-  reply.header.ttl = 64;
-  reply.header.protocol = pkt::IpProto::kIcmp;
-  reply.header.identification = next_ip_id(/*is_router=*/true, router, time);
-  reply.payload = pkt::IcmpMessage::echo_reply_for(*icmp->echo());
-  if (!datagram->header.options.empty() && rb.stamps) {
-    reply.header.options = datagram->header.options;
-    if (auto* rr = reply.header.record_route()) rr->stamp(probed);
+  const auto info = pkt::inspect_datagram(bytes);
+  if (!info) return std::nullopt;
+  if (info->protocol != static_cast<std::uint8_t>(pkt::IpProto::kIcmp) ||
+      info->icmp_type !=
+          static_cast<std::uint8_t>(pkt::IcmpType::kEchoRequest)) {
+    return std::nullopt;
   }
-  auto reply_bytes = reply.serialize();
-  if (!reply_bytes) return std::nullopt;
+
+  const std::uint16_t ip_id = next_ip_id(/*is_router=*/true, router, time);
+  if (info->options_present && rb.stamps) {
+    // The reply keeps the request's options; the probed interface stamps
+    // itself. `probed` is the request's destination address, so the
+    // in-place transform already puts it in the source field.
+    pkt::echo_reply_inplace(bytes, *info, ip_id);
+    pkt::rr_stamp(bytes, probed);
+    pkt::finalize_checksums(bytes, info->header_bytes, info->total_length);
+  } else {
+    ReplyScratch& scratch = scratch_for(ctx);
+    build_into_scratch(scratch, [&](std::vector<std::uint8_t>& out) {
+      pkt::build_echo_reply_stripped(out, bytes, *info, ip_id);
+    });
+    std::swap(bytes, scratch.bytes);
+  }
   const auto rev_entry = paths_.router_path(router, reply_to);
   if (!rev_entry->routable) {
     ++counters_for(ctx).dropped_unroutable;
     return std::nullopt;
   }
-  return deliver_back(std::move(*reply_bytes), rev_entry->hops, time,
+  return deliver_back(bytes, rev_entry->hops, time,
                       topology_->router_at(router).as_id,
                       topology_->host_at(reply_to).as_id, reply_to, flow,
                       ctx, doomed);
 }
 
 std::optional<Network::Delivery> Network::deliver_back(
-    std::vector<std::uint8_t> bytes, std::span<const route::PathHop> hops,
+    std::vector<std::uint8_t>& bytes, std::span<const route::PathHop> hops,
     double start, topo::AsId src_as, topo::AsId dst_as, HostId receiver,
     std::uint64_t flow, SendContext* ctx, bool doomed) {
   const auto result =

@@ -131,12 +131,23 @@ struct ProbeTrace {
   }
 };
 
+/// Reusable buffer for building replies whose geometry differs from the
+/// request (stripped echo replies, ICMP errors). The network swaps it with
+/// the probe buffer after building, so the two storages circulate between
+/// the caller and the scratch and the steady state allocates nothing.
+/// `growths` counts capacity growths — flat after warm-up.
+struct ReplyScratch {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t growths = 0;
+};
+
 /// Per-worker state for concurrent sends: a private counter tally (merge
 /// into the network with merge_counters()) plus the trace of the most
 /// recent send. One context must never be used by two threads at once.
 struct SendContext {
   NetCounters counters;
   ProbeTrace trace;
+  ReplyScratch scratch;
 };
 
 class Network {
@@ -171,6 +182,15 @@ class Network {
   /// optimistic until the caller resolves those events.
   std::optional<Delivery> send(HostId src, std::vector<std::uint8_t> bytes,
                                double time, SendContext* ctx = nullptr);
+
+  /// Allocation-free variant of send(): the probe is consumed from (and
+  /// replies are built by recycling) `bytes`, whose storage ends up either
+  /// in the returned Delivery (reclaim it from there) or back in `bytes`.
+  /// Steady-state callers that reuse one buffer per worker — and reclaim
+  /// the delivery's bytes after parsing — allocate nothing per exchange.
+  std::optional<Delivery> send_reusing(HostId src,
+                                       std::vector<std::uint8_t>& bytes,
+                                       double time, SendContext* ctx = nullptr);
 
   /// Serial-phase resolution of one deferred options-token consume.
   /// Callers must feed events in their chosen canonical order (the
@@ -241,27 +261,37 @@ class Network {
   [[nodiscard]] std::optional<HostId> host_owning(
       net::IPv4Address addr) const;
 
-  /// Builds + routes an ICMP error from a router back to `reply_to`.
-  std::optional<Delivery> emit_router_error(
-      RouterId router, net::IPv4Address from, std::uint8_t icmp_type,
-      std::uint8_t code, const std::vector<std::uint8_t>& offending,
-      HostId reply_to, double time, std::uint64_t flow, SendContext* ctx);
+  /// Builds + routes an ICMP error from a router back to `reply_to`. The
+  /// error is built in the reply scratch and swapped into `offending`.
+  std::optional<Delivery> emit_router_error(RouterId router,
+                                            net::IPv4Address from,
+                                            std::uint8_t icmp_type,
+                                            std::uint8_t code,
+                                            std::vector<std::uint8_t>& offending,
+                                            HostId reply_to, double time,
+                                            std::uint64_t flow,
+                                            SendContext* ctx);
 
   /// Response from the destination host for an echo request / UDP probe.
-  /// `doomed` continues a ghost exchange (see walk()).
+  /// `doomed` continues a ghost exchange (see walk()). The reply is built
+  /// by mutating `bytes` in place (echo replies that keep the request's
+  /// options) or by swapping in the reply scratch.
   std::optional<Delivery> host_respond(HostId dst, HostId reply_to,
-                                       const std::vector<std::uint8_t>& bytes,
+                                       std::vector<std::uint8_t>& bytes,
                                        double time, std::uint64_t flow,
                                        SendContext* ctx, bool doomed);
 
   /// Response from a directly probed router interface.
-  std::optional<Delivery> router_respond(
-      RouterId router, net::IPv4Address probed, HostId reply_to,
-      const std::vector<std::uint8_t>& bytes, double time, std::uint64_t flow,
-      SendContext* ctx, bool doomed);
+  std::optional<Delivery> router_respond(RouterId router,
+                                         net::IPv4Address probed,
+                                         HostId reply_to,
+                                         std::vector<std::uint8_t>& bytes,
+                                         double time, std::uint64_t flow,
+                                         SendContext* ctx, bool doomed);
 
-  /// Walks a response along the reverse path to `receiver`.
-  std::optional<Delivery> deliver_back(std::vector<std::uint8_t> bytes,
+  /// Walks a response along the reverse path to `receiver`, moving `bytes`
+  /// into the returned Delivery on arrival.
+  std::optional<Delivery> deliver_back(std::vector<std::uint8_t>& bytes,
                                        std::span<const route::PathHop> hops,
                                        double start, topo::AsId src_as,
                                        topo::AsId dst_as, HostId receiver,
@@ -270,6 +300,10 @@ class Network {
 
   [[nodiscard]] NetCounters& counters_for(SendContext* ctx) noexcept {
     return ctx != nullptr ? ctx->counters : counters_;
+  }
+
+  [[nodiscard]] ReplyScratch& scratch_for(SendContext* ctx) noexcept {
+    return ctx != nullptr ? ctx->scratch : serial_scratch_;
   }
 
   [[nodiscard]] std::uint16_t next_ip_id(bool is_router, std::uint32_t id,
@@ -286,6 +320,7 @@ class Network {
   FaultPlan fault_plan_;
   FaultCounters fault_counters_;
   std::unordered_map<RouterId, TokenBucket> buckets_;
+  ReplyScratch serial_scratch_;  // ctx == nullptr sends only
   std::vector<std::atomic<std::uint32_t>> router_ipid_count_;
   std::vector<std::atomic<std::uint32_t>> host_ipid_count_;
 };

@@ -1,0 +1,239 @@
+// RFC 1624 incremental checksum equivalence: for any buffer whose stored
+// checksum is valid (canonical, i.e. produced by a full RFC 1071
+// recompute), applying IncrementalChecksum updates for the words that
+// changed yields the same stored checksum as zeroing the field and
+// recomputing from scratch. The hot path (packet/view.h) relies on this
+// for TTL decrements, RR/TS stamps, and IP-ID rewrites; the sweeps here
+// cover random word mutations, accumulated multi-word updates, the
+// 0x0000 stored-checksum edge, 0x0000/0xFFFF word transitions, and the
+// exact TTL/IP-ID/RR-stamp edit shapes on real ping datagrams.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netbase/checksum.h"
+#include "packet/datagram.h"
+#include "packet/mutate.h"
+#include "util/rng.h"
+
+namespace rr::net {
+namespace {
+
+constexpr std::size_t kChecksumOffset = 10;  // IPv4 checksum field
+
+std::uint16_t read16(std::span<const std::uint8_t> data, std::size_t off) {
+  return static_cast<std::uint16_t>((data[off] << 8) | data[off + 1]);
+}
+
+void write16(std::span<std::uint8_t> data, std::size_t off,
+             std::uint16_t value) {
+  data[off] = static_cast<std::uint8_t>(value >> 8);
+  data[off + 1] = static_cast<std::uint8_t>(value & 0xff);
+}
+
+/// Canonical checksum of `data` with the field at kChecksumOffset zeroed.
+std::uint16_t full_recompute(std::vector<std::uint8_t> data) {
+  write16(data, kChecksumOffset, 0);
+  return internet_checksum(data);
+}
+
+/// Seals a buffer with its canonical checksum.
+void seal(std::vector<std::uint8_t>& data) {
+  write16(data, kChecksumOffset, full_recompute(data));
+}
+
+/// Rewrites the 16-bit word at `word * 2` and repairs the stored checksum
+/// incrementally; the caller compares against full_recompute.
+void mutate_word(std::vector<std::uint8_t>& data, std::size_t word,
+                 std::uint16_t value) {
+  IncrementalChecksum inc;
+  inc.update(read16(data, word * 2), value);
+  write16(data, word * 2, value);
+  write16(data, kChecksumOffset, inc.apply(read16(data, kChecksumOffset)));
+}
+
+/// Writes `bytes` at `offset` and repairs the checksum with one update per
+/// affected 16-bit word — the same word-level dedup the header view uses
+/// for RR stamps whose pointer byte and slot bytes straddle words.
+void edit_bytes(std::vector<std::uint8_t>& data, std::size_t offset,
+                std::span<const std::uint8_t> bytes) {
+  const std::size_t first = offset / 2;
+  const std::size_t last = (offset + bytes.size() - 1) / 2;
+  std::vector<std::uint16_t> old_words;
+  for (std::size_t w = first; w <= last; ++w) {
+    old_words.push_back(read16(data, w * 2));
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) data[offset + i] = bytes[i];
+  IncrementalChecksum inc;
+  for (std::size_t w = first; w <= last; ++w) {
+    inc.update(old_words[w - first], read16(data, w * 2));
+  }
+  write16(data, kChecksumOffset, inc.apply(read16(data, kChecksumOffset)));
+}
+
+class IncrementalSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalSeeds, RandomWordMutationsMatchFullRecompute) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random even-sized "header" (20..60 bytes, like IPv4 with options).
+    std::vector<std::uint8_t> data(20 + 2 * rng.next_below(21));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    seal(data);
+    for (int step = 0; step < 100; ++step) {
+      std::size_t word = rng.next_below(data.size() / 2);
+      if (word == kChecksumOffset / 2) word = 0;
+      // Bias toward the all-zeros / all-ones words whose complements fold
+      // through the 0xFFFF <-> 0x0000 boundary.
+      const std::uint16_t value =
+          rng.chance(0.25) ? (rng.chance(0.5) ? 0x0000 : 0xFFFF)
+                           : static_cast<std::uint16_t>(rng());
+      mutate_word(data, word, value);
+      ASSERT_EQ(read16(data, kChecksumOffset), full_recompute(data))
+          << "word " << word << " <- " << value << " at step " << step;
+    }
+  }
+}
+
+TEST_P(IncrementalSeeds, AccumulatedMultiWordUpdateMatchesFullRecompute) {
+  util::Rng rng{GetParam() ^ 0xfeedULL};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> data(20 + 2 * rng.next_below(21));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    seal(data);
+    // Several words change before one apply — the finish_stamp shape.
+    IncrementalChecksum inc;
+    const int edits = 1 + static_cast<int>(rng.next_below(6));
+    for (int e = 0; e < edits; ++e) {
+      std::size_t word = rng.next_below(data.size() / 2);
+      if (word == kChecksumOffset / 2) word = 1;
+      const std::uint16_t value = static_cast<std::uint16_t>(rng());
+      inc.update(read16(data, word * 2), value);
+      write16(data, word * 2, value);
+    }
+    write16(data, kChecksumOffset,
+            inc.apply(read16(data, kChecksumOffset)));
+    EXPECT_EQ(read16(data, kChecksumOffset), full_recompute(data));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(IncrementalChecksumEdge, StoredChecksumOfZeroSurvivesUpdates) {
+  // Engineer a buffer whose canonical checksum is exactly 0x0000: the
+  // one's-complement sum of the non-checksum words must fold to 0xFFFF.
+  std::vector<std::uint8_t> data(20, 0);
+  write16(data, 0, 0x4500);
+  write16(data, 2, 0xBAFF);  // 0x4500 + 0xBAFF = 0xFFFF
+  seal(data);
+  ASSERT_EQ(read16(data, kChecksumOffset), 0x0000);
+
+  // Mutations starting from (and passing back through) the 0x0000 stored
+  // value must keep agreeing with the full recompute.
+  mutate_word(data, 2, 0x0000);  // no-op rewrite of an all-zero word
+  EXPECT_EQ(read16(data, kChecksumOffset), full_recompute(data));
+  mutate_word(data, 6, 0xFFFF);
+  EXPECT_EQ(read16(data, kChecksumOffset), full_recompute(data));
+  mutate_word(data, 6, 0x0000);  // back to the engineered original
+  EXPECT_EQ(read16(data, kChecksumOffset), 0x0000);
+}
+
+TEST(IncrementalChecksumEdge, NoOpUpdateKeepsChecksum) {
+  std::vector<std::uint8_t> data(20);
+  util::Rng rng{99};
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  seal(data);
+  const std::uint16_t before = read16(data, kChecksumOffset);
+  const std::uint16_t word = read16(data, 4);
+  mutate_word(data, 2, word);  // rewrite with the identical value
+  mutate_word(data, 2, word);
+  EXPECT_EQ(read16(data, kChecksumOffset), before);
+}
+
+TEST(IncrementalChecksumEdge, ZeroAndAllOnesWordTransitions) {
+  // Every pairing of {random, 0x0000, 0xFFFF} -> {random, 0x0000, 0xFFFF}.
+  const std::uint16_t values[] = {0x0000, 0xFFFF, 0x1234, 0xEDCB};
+  for (const std::uint16_t from : values) {
+    for (const std::uint16_t to : values) {
+      std::vector<std::uint8_t> data(20);
+      util::Rng rng{static_cast<std::uint64_t>(from) << 16 | to};
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+      write16(data, 6, from);
+      seal(data);
+      mutate_word(data, 3, to);
+      EXPECT_EQ(read16(data, kChecksumOffset), full_recompute(data))
+          << from << " -> " << to;
+    }
+  }
+}
+
+// ------------------------------------------------ real header edit shapes
+
+class HeaderEditSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeaderEditSeeds, TtlIpIdAndRrStampEditsMatchRewriteChecksum) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 20; ++trial) {
+    const int slots = 1 + static_cast<int>(rng.next_below(9));
+    const auto ping = pkt::make_ping(
+        net::IPv4Address{static_cast<std::uint32_t>(rng())},
+        net::IPv4Address{static_cast<std::uint32_t>(rng())},
+        static_cast<std::uint16_t>(rng()), 1,
+        static_cast<std::uint8_t>(rng.next_in(30, 255)), slots);
+    auto incremental = *ping.serialize();
+    auto recomputed = incremental;
+
+    constexpr std::size_t kRrOption = 20;  // first (only) option
+    for (int step = 0; step < 40; ++step) {
+      switch (rng.next_below(3)) {
+        case 0: {  // TTL decrement: high byte of word 4
+          if (incremental[8] == 0) break;
+          const std::uint8_t ttl = incremental[8];
+          const std::uint8_t edit[1] = {static_cast<std::uint8_t>(ttl - 1)};
+          edit_bytes(incremental, 8, edit);
+          recomputed[8] = static_cast<std::uint8_t>(ttl - 1);
+          ASSERT_TRUE(pkt::rewrite_header_checksum(recomputed));
+          break;
+        }
+        case 1: {  // IP-ID rewrite: word 2
+          const std::uint16_t id = static_cast<std::uint16_t>(rng());
+          const std::uint8_t edit[2] = {static_cast<std::uint8_t>(id >> 8),
+                                        static_cast<std::uint8_t>(id & 0xff)};
+          edit_bytes(incremental, 4, edit);
+          recomputed[4] = edit[0];
+          recomputed[5] = edit[1];
+          ASSERT_TRUE(pkt::rewrite_header_checksum(recomputed));
+          break;
+        }
+        default: {  // RR stamp: pointer byte + 4 slot bytes, contiguous
+          const std::uint8_t length = incremental[kRrOption + 1];
+          const std::uint8_t pointer = incremental[kRrOption + 2];
+          if (pointer >= length) break;  // full
+          const std::uint32_t addr = static_cast<std::uint32_t>(rng());
+          const std::uint8_t edit[5] = {
+              static_cast<std::uint8_t>(pointer + 4),
+              static_cast<std::uint8_t>(addr >> 24),
+              static_cast<std::uint8_t>(addr >> 16),
+              static_cast<std::uint8_t>(addr >> 8),
+              static_cast<std::uint8_t>(addr & 0xff)};
+          edit_bytes(incremental, kRrOption + 2, edit);
+          for (int i = 0; i < 5; ++i) {
+            recomputed[kRrOption + 2 + i] = edit[i];
+          }
+          ASSERT_TRUE(pkt::rewrite_header_checksum(recomputed));
+          break;
+        }
+      }
+      ASSERT_EQ(incremental, recomputed) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderEditSeeds,
+                         ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace rr::net
