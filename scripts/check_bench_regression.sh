@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Compares a freshly produced BENCH_table1.json against the committed
+# reference in bench_results/ and fails if the campaign phase regressed
+# by more than the allowed fraction (default 25%). Headline-rate drift is
+# an error at any size: the campaign is deterministic, so the dataset
+# values must match the reference exactly.
+#
+#   scripts/check_bench_regression.sh [fresh.json] [reference.json]
+#
+# Defaults: ./BENCH_table1.json vs bench_results/BENCH_table1.json,
+# threshold overridable via RROPT_BENCH_TOLERANCE (e.g. 0.25).
+set -eu
+
+fresh=${1:-BENCH_table1.json}
+reference=${2:-bench_results/BENCH_table1.json}
+tolerance=${RROPT_BENCH_TOLERANCE:-0.25}
+
+for f in "$fresh" "$reference"; do
+  if [[ ! -f "$f" ]]; then
+    echo "check_bench_regression: missing $f" >&2
+    exit 1
+  fi
+done
+
+extract() {  # extract <file> <key> — first numeric value for "key"
+  sed -n "s/.*\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1" | head -n1
+}
+
+fresh_campaign=$(extract "$fresh" campaign)
+ref_campaign=$(extract "$reference" campaign)
+if [[ -z "$fresh_campaign" || -z "$ref_campaign" ]]; then
+  echo "check_bench_regression: missing campaign phase timing" >&2
+  exit 1
+fi
+
+# The dataset is deterministic: the Table 1 rates must be bit-identical
+# to the committed reference, otherwise the perf comparison is moot.
+for key in ping_rate_by_ip rr_rate_by_ip rr_over_ping_by_ip; do
+  fresh_value=$(extract "$fresh" "$key")
+  ref_value=$(extract "$reference" "$key")
+  if [[ "$fresh_value" != "$ref_value" ]]; then
+    echo "check_bench_regression: $key changed: $ref_value -> $fresh_value" >&2
+    exit 1
+  fi
+done
+
+awk -v fresh="$fresh_campaign" -v ref="$ref_campaign" -v tol="$tolerance" '
+  BEGIN {
+    limit = ref * (1 + tol)
+    printf "campaign phase: %.3fs fresh vs %.3fs reference (limit %.3fs)\n",
+           fresh, ref, limit
+    if (fresh > limit) {
+      printf "check_bench_regression: campaign regressed %.0f%% (> %.0f%%)\n",
+             (fresh / ref - 1) * 100, tol * 100 > "/dev/stderr"
+      exit 1
+    }
+    printf "within tolerance (%+.0f%%)\n", (fresh / ref - 1) * 100
+  }'

@@ -92,6 +92,15 @@ std::vector<std::uint8_t> CampaignDataset::serialize() const {
   return std::move(out).take();
 }
 
+std::uint64_t CampaignDataset::content_hash() const {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const std::uint8_t byte : serialize()) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  return hash;
+}
+
 std::optional<CampaignDataset> CampaignDataset::parse(
     std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 16) return std::nullopt;

@@ -67,6 +67,11 @@ class CampaignDataset {
   [[nodiscard]] static std::optional<CampaignDataset> parse(
       std::span<const std::uint8_t> bytes);
 
+  /// FNV-1a over the serialized bytes: a stable fingerprint for asserting
+  /// that two runs (different thread counts, compiled-FIB on/off) produced
+  /// the same dataset without keeping both in memory.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
   // ------------------------------------------------------ offline queries
   [[nodiscard]] std::size_t num_vps() const noexcept { return vps.size(); }
   [[nodiscard]] std::size_t num_destinations() const noexcept {

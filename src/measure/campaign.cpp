@@ -1,6 +1,7 @@
 #include "measure/campaign.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "util/log.h"
@@ -86,7 +87,8 @@ RrObservation observe(const probe::ProbeResult& result,
 Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
   Campaign campaign;
   campaign.topology_ = testbed.topology_ptr();
-  campaign.vps_ = testbed.vps();
+  const auto testbed_vps = testbed.vps();
+  campaign.vps_.assign(testbed_vps.begin(), testbed_vps.end());
 
   const auto all_dests = testbed.topology().destinations();
   const int stride = std::max(1, config.destination_stride);
@@ -111,159 +113,208 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
       config.threads > 0 ? config.threads : testbed.threads());
   util::ThreadPool pool(threads);
   const double interval = 1.0 / config.vp_pps;
+  const topo::HostId probe_host = testbed.topology().probe_host();
+  const int attempts = std::max(1, config.ping_attempts);
 
-  // ------------------------------------------------- plain-ping study
-  // Three pings per destination from the probe host (USC in the paper).
-  // Each destination owns a reserved block of paced send slots, so its
-  // probe times — and therefore its outcome — do not depend on how many
-  // attempts earlier destinations consumed. Plain pings carry no IP
-  // options, so no token bucket is involved and destinations are fully
-  // independent: the sweep parallelizes over destination ranges with no
-  // resolution phase.
-  {
-    const topo::HostId probe_host = testbed.topology().probe_host();
-    const int attempts = std::max(1, config.ping_attempts);
-    constexpr std::size_t kPingChunk = 256;
-    const std::size_t n_chunks = (n_dests + kPingChunk - 1) / kPingChunk;
-    std::vector<sim::NetCounters> tallies(n_chunks);
-    std::vector<std::uint64_t> chunk_buf_growths(n_chunks, 0);
-    std::vector<std::uint64_t> chunk_scratch_growths(n_chunks, 0);
-    pool.parallel_for(n_chunks, [&](std::size_t chunk) {
-      const std::size_t begin = chunk * kPingChunk;
-      const std::size_t end = std::min(begin + kPingChunk, n_dests);
-      auto prober = testbed.make_prober(probe_host, config.vp_pps);
-      sim::SendContext ctx;
-      probe::ProbeResult result;
-      for (std::size_t d = begin; d < end; ++d) {
-        const auto target =
-            testbed.topology().host_at(campaign.dests_[d]).address;
-        prober.set_clock(static_cast<double>(attempts) *
-                         static_cast<double>(d) * interval);
-        for (int attempt = 0; attempt < attempts; ++attempt) {
-          prober.probe_into(probe::ProbeSpec::ping(target), &ctx, result);
-          if (result.kind == probe::ResponseKind::kEchoReply) {
-            campaign.ping_responsive_[d] = 1;
-            break;
-          }
-        }
-      }
-      tallies[chunk] = ctx.counters;
-      chunk_buf_growths[chunk] = prober.buffer_growths();
-      chunk_scratch_growths[chunk] = ctx.scratch.growths;
-    });
-    for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
-      net.merge_counters(tallies[chunk]);
-      campaign.alloc_stats_.probe_buffer_growths += chunk_buf_growths[chunk];
-      campaign.alloc_stats_.reply_scratch_growths +=
-          chunk_scratch_growths[chunk];
-    }
-    campaign.alloc_stats_.probe_streams += n_chunks;
+  // Hosts that originate campaign probes — the compiled forwarding
+  // table's row set. Stable across blocks.
+  std::vector<topo::HostId> fib_sources;
+  if (config.use_compiled_fib) {
+    fib_sources.reserve(n_vps + 1);
+    for (const auto* vp : campaign.vps_) fib_sources.push_back(vp->host);
+    if (probe_host != topo::kNoHost) fib_sources.push_back(probe_host);
   }
 
-  // ---------------------------------------------------- ping-RR study
-  // Every VP probes every destination once, in its own random order; all
-  // VPs run concurrently on the shared virtual timeline, so shared rate
-  // limiters see the aggregate load.
-  //
-  // Execution is chunked: pass A advances every VP's probe stream a fixed
-  // number of steps in parallel (per-VP prober and context, counter-based
-  // randomness — no shared mutable state), recording would-be token-bucket
-  // consumes instead of performing them. Pass B then replays those
-  // consumes serially in (step, VP, event) order — the exact order a
-  // single-threaded live run consumes tokens — cancelling any probe or
-  // reply whose consume fails and substituting the counters the serial run
-  // would have produced. Chunk size is fixed, and chunk boundaries are
-  // invisible to both passes, so contents are identical at any thread
-  // count.
+  // Streaming: destinations are processed in blocks (stream_block == 0 is
+  // one block over the whole census, bit-identical to the pre-streaming
+  // campaign). Per block: compile the forwarding table for the block's
+  // destinations, run the plain-ping sweep and the ping-RR study over the
+  // block, then fold the block's RR sightings into the per-destination
+  // unions. Probers, their virtual clocks, the token buckets, and the
+  // per-destination ping slots all carry across blocks, so the schedule a
+  // destination experiences depends only on its global index and the
+  // per-VP probe order — not on how blocks chop the census.
+  const std::size_t block_size =
+      config.stream_block == 0 ? std::max<std::size_t>(1, n_dests)
+                               : config.stream_block;
+
+  // ping-RR state persisting across blocks (see the study comment below).
   util::Rng order_rng{config.seed};
   std::vector<probe::Prober> probers;
   probers.reserve(n_vps);
-  std::vector<std::vector<std::uint32_t>> orders(n_vps);
   for (std::size_t v = 0; v < n_vps; ++v) {
     probers.push_back(
         testbed.make_prober(campaign.vps_[v]->host, config.vp_pps));
-    auto& order = orders[v];
-    order.resize(n_dests);
-    for (std::size_t d = 0; d < n_dests; ++d) {
-      order[d] = static_cast<std::uint32_t>(d);
-    }
-    order_rng.shuffle(order);
   }
-
-  // Raw per-destination address sightings, deduplicated once at the end.
-  std::vector<std::vector<net::IPv4Address>> collected(n_dests);
-
   constexpr std::size_t kChunkSteps = 64;
+  std::vector<std::vector<std::uint32_t>> orders(n_vps);
   std::vector<sim::SendContext> contexts(n_vps);
   std::vector<probe::ProbeResult> results(n_vps);  // reused per VP stream
   std::vector<PendingProbe> pending(kChunkSteps * n_vps);
-  for (std::size_t k0 = 0; k0 < n_dests; k0 += kChunkSteps) {
-    const std::size_t steps = std::min(kChunkSteps, n_dests - k0);
+  // Raw per-destination address sightings, deduplicated per block.
+  std::vector<std::vector<net::IPv4Address>> collected(n_dests);
 
-    // Pass A: per-VP probe streams, one worker at a time per VP.
-    pool.parallel_for(n_vps, [&](std::size_t v) {
-      sim::SendContext& ctx = contexts[v];
-      probe::ProbeResult& result = results[v];
-      for (std::size_t j = 0; j < steps; ++j) {
-        const std::size_t d = orders[v][k0 + j];
-        PendingProbe& p = pending[j * n_vps + v];
-        p.dest = static_cast<std::uint32_t>(d);
-        const auto target =
-            campaign.topology_->host_at(campaign.dests_[d]).address;
-        ctx.counters = sim::NetCounters{};
-        probers[v].probe_into(probe::ProbeSpec::ping_rr(target), &ctx,
-                              result);
-        p.counters = ctx.counters;
-        std::swap(p.trace, ctx.trace);
-        p.obs = observe(result, target, p.recorded);
-      }
-    });
+  for (std::size_t block_begin = 0; block_begin < n_dests;
+       block_begin += block_size) {
+    const std::size_t block_end = std::min(block_begin + block_size, n_dests);
+    const std::size_t block_len = block_end - block_begin;
 
-    // Pass B: serial token replay + result application.
-    for (std::size_t j = 0; j < steps; ++j) {
-      for (std::size_t v = 0; v < n_vps; ++v) {
-        PendingProbe& p = pending[j * n_vps + v];
-        bool killed_forward = false;
-        bool killed_reply = false;
-        std::size_t kill_index = 0;
-        for (std::size_t e = 0; e < p.trace.events.size(); ++e) {
-          const auto& ev = p.trace.events[e];
-          if (!net.try_consume_options_token(ev.router, ev.time)) {
-            // A policed drop is silent: a forward-leg failure means the
-            // probe never arrived anywhere, a reply-leg failure means the
-            // response never came home. Later events of this probe would
-            // not have happened (reply events always follow forward ones).
-            (ev.reply_leg ? killed_reply : killed_forward) = true;
-            kill_index = e;
-            break;
+    std::shared_ptr<const route::CompiledFib> fib;
+    if (config.use_compiled_fib) {
+      fib = route::CompiledFib::build(
+          net.stitcher(), fib_sources,
+          std::span<const topo::HostId>{campaign.dests_}.subspan(block_begin,
+                                                                 block_len));
+    }
+    net.set_compiled_fib(fib);
+
+    // ------------------------------------------------- plain-ping study
+    // Three pings per destination from the probe host (USC in the paper).
+    // Each destination owns a reserved slot block keyed by its *global*
+    // index, so its probe times — and therefore its outcome — do not
+    // depend on how many attempts earlier destinations consumed, nor on
+    // the streaming block size. Plain pings carry no IP options, so no
+    // token bucket is involved and destinations are fully independent:
+    // the sweep parallelizes over destination ranges with no resolution
+    // phase.
+    {
+      constexpr std::size_t kPingChunk = 256;
+      const std::size_t n_chunks = (block_len + kPingChunk - 1) / kPingChunk;
+      std::vector<sim::NetCounters> tallies(n_chunks);
+      std::vector<std::uint64_t> chunk_buf_growths(n_chunks, 0);
+      std::vector<std::uint64_t> chunk_scratch_growths(n_chunks, 0);
+      pool.parallel_for(n_chunks, [&](std::size_t chunk) {
+        const std::size_t begin = block_begin + chunk * kPingChunk;
+        const std::size_t end = std::min(begin + kPingChunk, block_end);
+        auto prober = testbed.make_prober(probe_host, config.vp_pps);
+        sim::SendContext ctx;
+        probe::ProbeResult result;
+        for (std::size_t d = begin; d < end; ++d) {
+          const auto target =
+              testbed.topology().host_at(campaign.dests_[d]).address;
+          prober.set_clock(static_cast<double>(attempts) *
+                           static_cast<double>(d) * interval);
+          for (int attempt = 0; attempt < attempts; ++attempt) {
+            prober.probe_into(probe::ProbeSpec::ping(target), &ctx, result);
+            if (result.kind == probe::ResponseKind::kEchoReply) {
+              campaign.ping_responsive_[d] = 1;
+              break;
+            }
           }
         }
-        if (killed_forward || killed_reply) {
-          p.obs = RrObservation{};
-          p.recorded.clear();
-          p.counters = killed_counters(p.trace, killed_reply, kill_index);
+        tallies[chunk] = ctx.counters;
+        chunk_buf_growths[chunk] = prober.buffer_growths();
+        chunk_scratch_growths[chunk] = ctx.scratch.growths;
+      });
+      for (std::size_t chunk = 0; chunk < n_chunks; ++chunk) {
+        net.merge_counters(tallies[chunk]);
+        campaign.alloc_stats_.probe_buffer_growths +=
+            chunk_buf_growths[chunk];
+        campaign.alloc_stats_.reply_scratch_growths +=
+            chunk_scratch_growths[chunk];
+      }
+      campaign.alloc_stats_.probe_streams += n_chunks;
+    }
+
+    // ---------------------------------------------------- ping-RR study
+    // Every VP probes every destination of the block once, in its own
+    // random order; all VPs run concurrently on the shared virtual
+    // timeline, so shared rate limiters see the aggregate load. Prober
+    // clocks continue across blocks: with one block, the schedule is the
+    // pre-streaming campaign's exactly.
+    //
+    // Execution is chunked: pass A advances every VP's probe stream a
+    // fixed number of steps in parallel (per-VP prober and context,
+    // counter-based randomness — no shared mutable state), recording
+    // would-be token-bucket consumes instead of performing them. Pass B
+    // then replays those consumes serially in (step, VP, event) order —
+    // the exact order a single-threaded live run consumes tokens —
+    // cancelling any probe or reply whose consume fails and substituting
+    // the counters the serial run would have produced. Chunk size is
+    // fixed, and chunk boundaries are invisible to both passes, so
+    // contents are identical at any thread count.
+    for (std::size_t v = 0; v < n_vps; ++v) {
+      auto& order = orders[v];
+      order.resize(block_len);
+      for (std::size_t d = 0; d < block_len; ++d) {
+        order[d] = static_cast<std::uint32_t>(block_begin + d);
+      }
+      order_rng.shuffle(order);
+    }
+
+    for (std::size_t k0 = 0; k0 < block_len; k0 += kChunkSteps) {
+      const std::size_t steps = std::min(kChunkSteps, block_len - k0);
+
+      // Pass A: per-VP probe streams, one worker at a time per VP.
+      pool.parallel_for(n_vps, [&](std::size_t v) {
+        sim::SendContext& ctx = contexts[v];
+        probe::ProbeResult& result = results[v];
+        for (std::size_t j = 0; j < steps; ++j) {
+          const std::size_t d = orders[v][k0 + j];
+          PendingProbe& p = pending[j * n_vps + v];
+          p.dest = static_cast<std::uint32_t>(d);
+          const auto target =
+              campaign.topology_->host_at(campaign.dests_[d]).address;
+          ctx.counters = sim::NetCounters{};
+          probers[v].probe_into(probe::ProbeSpec::ping_rr(target), &ctx,
+                                result);
+          p.counters = ctx.counters;
+          std::swap(p.trace, ctx.trace);
+          p.obs = observe(result, target, p.recorded);
         }
-        net.merge_counters(p.counters);
-        campaign.observations_[v * n_dests + p.dest] = p.obs;
-        if (!p.recorded.empty()) {
-          auto& sightings = collected[p.dest];
-          sightings.insert(sightings.end(), p.recorded.begin(),
-                           p.recorded.end());
+      });
+
+      // Pass B: serial token replay + result application.
+      for (std::size_t j = 0; j < steps; ++j) {
+        for (std::size_t v = 0; v < n_vps; ++v) {
+          PendingProbe& p = pending[j * n_vps + v];
+          bool killed_forward = false;
+          bool killed_reply = false;
+          std::size_t kill_index = 0;
+          for (std::size_t e = 0; e < p.trace.events.size(); ++e) {
+            const auto& ev = p.trace.events[e];
+            if (!net.try_consume_options_token(ev.router, ev.time)) {
+              // A policed drop is silent: a forward-leg failure means the
+              // probe never arrived anywhere, a reply-leg failure means
+              // the response never came home. Later events of this probe
+              // would not have happened (reply events always follow
+              // forward ones).
+              (ev.reply_leg ? killed_reply : killed_forward) = true;
+              kill_index = e;
+              break;
+            }
+          }
+          if (killed_forward || killed_reply) {
+            p.obs = RrObservation{};
+            p.recorded.clear();
+            p.counters = killed_counters(p.trace, killed_reply, kill_index);
+          }
+          net.merge_counters(p.counters);
+          campaign.observations_[v * n_dests + p.dest] = p.obs;
+          if (!p.recorded.empty()) {
+            auto& sightings = collected[p.dest];
+            sightings.insert(sightings.end(), p.recorded.begin(),
+                             p.recorded.end());
+          }
         }
       }
     }
-  }
 
-  // Deduplicate each destination's sightings in one sort instead of the
-  // old per-probe sorted-insert (quadratic in popular destinations).
-  pool.parallel_for(n_dests, [&](std::size_t d) {
-    auto& sightings = collected[d];
-    std::sort(sightings.begin(), sightings.end());
-    sightings.erase(std::unique(sightings.begin(), sightings.end()),
-                    sightings.end());
-    sightings.shrink_to_fit();
-    campaign.recorded_union_[d] = std::move(sightings);
-  });
+    // Deduplicate each block destination's sightings in one sort instead
+    // of the old per-probe sorted-insert (quadratic in popular
+    // destinations). Folding per block keeps the raw sighting buffers
+    // bounded by the block, not the census.
+    pool.parallel_for(block_len, [&](std::size_t i) {
+      const std::size_t d = block_begin + i;
+      auto& sightings = collected[d];
+      std::sort(sightings.begin(), sightings.end());
+      sightings.erase(std::unique(sightings.begin(), sightings.end()),
+                      sightings.end());
+      sightings.shrink_to_fit();
+      campaign.recorded_union_[d] = std::move(sightings);
+    });
+  }
+  net.set_compiled_fib(nullptr);
 
   for (std::size_t v = 0; v < n_vps; ++v) {
     campaign.alloc_stats_.probe_buffer_growths += probers[v].buffer_growths();

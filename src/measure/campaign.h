@@ -68,6 +68,20 @@ struct CampaignConfig {
   /// sim/fault.h). The default is inert: a campaign with all fault rates
   /// at zero is bit-identical to one that predates fault injection.
   sim::FaultParams faults;
+  /// Resolve campaign host paths through a compiled forwarding table
+  /// (routing/fib.h) built per destination block instead of the shared
+  /// path cache. Contents are bit-identical either way (asserted by the
+  /// FIB equivalence test); this knob exists for A/B benchmarking and as
+  /// a kill switch.
+  bool use_compiled_fib = true;
+  /// Streaming mode: process destinations in blocks of this many,
+  /// compiling the forwarding table per block, so resident path state is
+  /// bounded by the block size instead of the census size. 0 = one block
+  /// spanning every destination, which is bit-identical to the
+  /// pre-streaming campaign. Nonzero blocks reorder the per-VP probe
+  /// sequences (block-major), so contents differ from block size to block
+  /// size — but not with thread count or the FIB knob.
+  std::size_t stream_block = 0;
 };
 
 /// Aggregate allocation telemetry for one campaign run: how many times the

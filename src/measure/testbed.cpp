@@ -21,7 +21,7 @@ Testbed::Testbed(std::shared_ptr<const topo::Topology> topology,
 }
 
 void Testbed::init() {
-  vps_ = topology_->vantage_points_in(config_.epoch);
+  vps_ = topology_->vantage_points_in(config_.epoch);  // view, not a copy
 
   // Probe sources: every VP of either epoch (so both epochs share one
   // oracle shape), the plain-ping probe host, and the cloud probe hosts.

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "probe/prober.h"
@@ -58,8 +59,9 @@ class Testbed {
   [[nodiscard]] topo::Epoch epoch() const noexcept { return config_.epoch; }
   [[nodiscard]] int threads() const noexcept { return config_.threads; }
 
-  /// Vantage points active in this epoch, in a stable order.
-  [[nodiscard]] const std::vector<const topo::VantagePoint*>& vps()
+  /// Vantage points active in this epoch, in a stable order (a view of
+  /// the topology's precompiled per-epoch list).
+  [[nodiscard]] std::span<const topo::VantagePoint* const> vps()
       const noexcept {
     return vps_;
   }
@@ -80,7 +82,7 @@ class Testbed {
   std::shared_ptr<const sim::Behaviors> behaviors_;
   std::unique_ptr<route::RoutingOracle> oracle_;
   std::unique_ptr<sim::Network> network_;
-  std::vector<const topo::VantagePoint*> vps_;
+  std::span<const topo::VantagePoint* const> vps_;
 };
 
 }  // namespace rr::measure

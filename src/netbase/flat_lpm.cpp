@@ -1,0 +1,90 @@
+#include "netbase/flat_lpm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rr::net::detail {
+
+namespace {
+
+constexpr std::uint32_t slot_of(std::uint32_t value_index,
+                                std::uint8_t length) noexcept {
+  return (static_cast<std::uint32_t>(length) << 24) | (value_index + 1);
+}
+
+}  // namespace
+
+void FlatLpmCore::build(std::vector<Entry> entries) {
+  assert(entries.size() < kPayloadMask);
+
+  // Shorter prefixes first, so a longer (more specific) prefix written
+  // later simply overwrites the granules (or tbl8 bytes) it covers.
+  // Equal-length prefixes never overlap, so ties need no ordering.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.prefix.length() < b.prefix.length();
+            });
+
+  // The /0, if present, backs every address — inside and outside the
+  // direct table's range — without forcing the table to span all 2^24
+  // granules.
+  default_slot_ = 0;
+  lo24_ = 1;
+  hi24_ = 0;
+  bool have_range = false;
+  for (const Entry& e : entries) {
+    if (e.prefix.length() == 0) {
+      default_slot_ = slot_of(e.value_index, 0);
+      continue;
+    }
+    const std::uint32_t base = e.prefix.base().value();
+    const std::uint32_t first = base >> 8;
+    const std::uint32_t last = static_cast<std::uint32_t>(
+        (std::uint64_t{base} +
+         (std::uint64_t{1} << (32 - e.prefix.length())) - 1) >>
+        8);
+    if (!have_range) {
+      lo24_ = first;
+      hi24_ = last;
+      have_range = true;
+    } else {
+      lo24_ = std::min(lo24_, first);
+      hi24_ = std::max(hi24_, last);
+    }
+  }
+  tbl24_.clear();
+  tbl8_.clear();
+  if (!have_range) return;  // empty or /0-only: default_slot_ answers all
+  tbl24_.assign(std::size_t{hi24_} - lo24_ + 1, default_slot_);
+
+  for (const Entry& e : entries) {
+    const std::uint8_t len = e.prefix.length();
+    if (len == 0) continue;
+    const std::uint32_t base = e.prefix.base().value();
+    const std::uint32_t slot = slot_of(e.value_index, len);
+    if (len <= 24) {
+      const std::size_t first = (base >> 8) - lo24_;
+      std::fill_n(tbl24_.begin() + static_cast<std::ptrdiff_t>(first),
+                  std::size_t{1} << (24 - len), slot);
+      continue;
+    }
+    // Longer than /24: route the granule through a 256-entry overflow
+    // block seeded with whatever covered it so far. Length ordering
+    // guarantees no granule-wide fill happens after this promotion.
+    const std::size_t granule = (base >> 8) - lo24_;
+    std::uint32_t block;
+    if (tbl24_[granule] & kOverflowFlag) {
+      block = tbl24_[granule] & kPayloadMask;
+    } else {
+      block = static_cast<std::uint32_t>(tbl8_.size() >> 8);
+      assert(block < kPayloadMask);
+      tbl8_.resize(tbl8_.size() + 256, tbl24_[granule]);
+      tbl24_[granule] = kOverflowFlag | block;
+    }
+    const std::size_t start = (std::size_t{block} << 8) | (base & 0xff);
+    std::fill_n(tbl8_.begin() + static_cast<std::ptrdiff_t>(start),
+                std::size_t{1} << (32 - len), slot);
+  }
+}
+
+}  // namespace rr::net::detail

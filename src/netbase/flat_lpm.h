@@ -1,0 +1,134 @@
+// DIR-24-8-style flattened longest-prefix-match table.
+//
+// An LpmTrie answers a lookup by chasing up to 32 heap nodes; at campaign
+// rates that pointer walk dominates `Topology::as_of_address`. FlatLpm
+// compiles a finished trie into two dense arrays — a direct-indexed table
+// of /24 granules plus 256-entry overflow blocks for prefixes longer than
+// /24 — so a lookup is one (rarely two) array loads. The direct table is
+// range-restricted to the /24 span the inserted prefixes actually cover,
+// which keeps a contiguously-allocated address plan (ours grows upward
+// from 16.0.0.0) at ~4 bytes per allocated /24 instead of 64 MiB.
+//
+// Build-then-freeze: a FlatLpm is constructed from an LpmTrie once and is
+// immutable afterwards, so concurrent readers need no synchronization.
+// Lookups agree with the source trie bit-for-bit — same hit/miss, same
+// value, same matched prefix — including /0 and /32 edges (asserted by
+// tests/flat_structures_test.cpp on randomized corpora).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netbase/lpm_trie.h"
+#include "netbase/prefix.h"
+
+namespace rr::net {
+
+namespace detail {
+
+/// Type-erased core: maps addresses to (value index, matched length).
+/// Value storage lives in the templated wrapper.
+class FlatLpmCore {
+ public:
+  struct Entry {
+    Prefix prefix;
+    std::uint32_t value_index = 0;
+  };
+
+  /// Compiles the entry set. Entries may arrive in any order and overlap
+  /// arbitrarily; longest-prefix semantics are resolved here.
+  void build(std::vector<Entry> entries);
+
+  struct Hit {
+    std::uint32_t value_index;
+    std::uint8_t matched_length;
+  };
+
+  [[nodiscard]] std::optional<Hit> lookup(IPv4Address addr) const noexcept {
+    const std::uint32_t granule = addr.value() >> 8;
+    std::uint32_t slot;
+    if (granule >= lo24_ && granule <= hi24_) {
+      slot = tbl24_[granule - lo24_];
+      if (slot & kOverflowFlag) {
+        slot = tbl8_[((slot & kPayloadMask) << 8) | (addr.value() & 0xff)];
+      }
+    } else {
+      slot = default_slot_;  // only a /0 (or nothing) covers out-of-range
+    }
+    if ((slot & kPayloadMask) == 0) return std::nullopt;
+    return Hit{(slot & kPayloadMask) - 1,
+               static_cast<std::uint8_t>(slot >> kLengthShift)};
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return (tbl24_.capacity() + tbl8_.capacity()) * sizeof(std::uint32_t);
+  }
+
+ private:
+  // Slot layout. Terminal slot: bits 0..23 = value index + 1 (0 = no
+  // covering prefix), bits 24..29 = matched prefix length (0..32), bit 31
+  // clear. Overflow slot (tbl24 only): bit 31 set, bits 0..23 = tbl8
+  // block number. 2^24-1 distinct values / blocks is far beyond our scale
+  // and asserted at build time.
+  static constexpr std::uint32_t kOverflowFlag = 0x8000'0000u;
+  static constexpr std::uint32_t kPayloadMask = 0x00ff'ffffu;
+  static constexpr int kLengthShift = 24;
+
+  std::uint32_t lo24_ = 1;  // empty range: lo > hi
+  std::uint32_t hi24_ = 0;
+  std::uint32_t default_slot_ = 0;  // covers addresses outside [lo, hi]
+  std::vector<std::uint32_t> tbl24_;
+  std::vector<std::uint32_t> tbl8_;  // concatenated 256-entry blocks
+};
+
+}  // namespace detail
+
+template <typename Value>
+class FlatLpm {
+ public:
+  FlatLpm() = default;
+
+  /// Compiles `trie` (which stays untouched and remains the mutable
+  /// source of truth; rebuild after any further inserts).
+  explicit FlatLpm(const LpmTrie<Value>& trie) {
+    std::vector<detail::FlatLpmCore::Entry> entries;
+    entries.reserve(trie.size());
+    values_.reserve(trie.size());
+    trie.for_each([&](const Prefix& prefix, const Value& value) {
+      entries.push_back(
+          {prefix, static_cast<std::uint32_t>(values_.size())});
+      values_.push_back(value);
+    });
+    core_.build(std::move(entries));
+  }
+
+  /// Longest-prefix-match lookup; nullptr when nothing covers `addr`.
+  [[nodiscard]] const Value* lookup(IPv4Address addr) const noexcept {
+    const auto hit = core_.lookup(addr);
+    if (!hit) return nullptr;
+    return &values_[hit->value_index];
+  }
+
+  /// Longest matching prefix itself (with its value), if any.
+  [[nodiscard]] std::optional<std::pair<Prefix, Value>> lookup_prefix(
+      IPv4Address addr) const {
+    const auto hit = core_.lookup(addr);
+    if (!hit) return std::nullopt;
+    return std::pair{Prefix{addr, hit->matched_length},
+                     values_[hit->value_index]};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return core_.memory_bytes() + values_.capacity() * sizeof(Value);
+  }
+
+ private:
+  detail::FlatLpmCore core_;
+  std::vector<Value> values_;
+};
+
+}  // namespace rr::net

@@ -113,9 +113,10 @@ bool PathStitcher::assemble(std::optional<HostId> src_host,
   return true;
 }
 
-net::IPv4Address PathStitcher::pick_interface(RouterId router,
-                                              std::uint64_t salt) const {
-  const topo::Router& info = topology_->router_at(router);
+net::IPv4Address PathStitcher::pick_interface(const topo::Topology& topology,
+                                              RouterId router,
+                                              std::uint64_t salt) {
+  const topo::Router& info = topology.router_at(router);
   if (info.interfaces.size() <= 1) return info.loopback;
   const std::size_t index =
       1 + static_cast<std::size_t>(pair_mix(router, salt) %
@@ -130,7 +131,7 @@ void PathStitcher::derive_addresses(const std::vector<RouterId>& seq,
   out.clear();
   out.reserve(seq.size());
   const std::uint64_t src_salt =
-      src ? (0x9000000000000000ULL | *src) : 0x7000000000000000ULL;
+      src ? (kSrcHostSaltTag | *src) : 0x7000000000000000ULL;
   for (std::size_t i = 0; i < seq.size(); ++i) {
     PathHop hop;
     hop.router = seq[i];
@@ -152,7 +153,7 @@ void PathStitcher::derive_addresses(const std::vector<RouterId>& seq,
 
     // Egress: the outgoing interface (what RR records).
     if (i + 1 == seq.size()) {
-      hop.egress = pick_interface(seq[i], 0xd000000000000000ULL | dst_salt);
+      hop.egress = pick_interface(seq[i], kDstSaltTag | dst_salt);
     } else {
       const topo::AsId next_as = topology_->router_at(seq[i + 1]).as_id;
       if (next_as != as) {

@@ -63,6 +63,18 @@ class PathStitcher {
   [[nodiscard]] std::optional<std::vector<PathHop>> host_path(HostId src,
                                                               HostId dst);
 
+  /// Salt tags for the per-host endpoint interface picks inside
+  /// derive_addresses(). Exposed (with pick_interface) so the compiled
+  /// forwarding plane (routing/fib.h) can re-derive the one host-dependent
+  /// address of a shared path spine bit-identically.
+  static constexpr std::uint64_t kSrcHostSaltTag = 0x9000000000000000ULL;
+  static constexpr std::uint64_t kDstSaltTag = 0xd000000000000000ULL;
+
+  /// Deterministic non-loopback interface pick for a router, used for
+  /// intra-AS adjacency and the path endpoints.
+  [[nodiscard]] static net::IPv4Address pick_interface(
+      const topo::Topology& topology, RouterId router, std::uint64_t salt);
+
   [[nodiscard]] const topo::Topology& topology() const noexcept {
     return *topology_;
   }
@@ -88,9 +100,10 @@ class PathStitcher {
                         dst_salt, std::optional<HostId> src,
                         std::vector<PathHop>& out) const;
 
-  /// Deterministic non-loopback interface pick for intra-AS adjacency.
   [[nodiscard]] net::IPv4Address pick_interface(RouterId router,
-                                                std::uint64_t salt) const;
+                                                std::uint64_t salt) const {
+    return pick_interface(*topology_, router, salt);
+  }
 
   std::shared_ptr<const topo::Topology> topology_;
   RoutingOracle* oracle_;

@@ -55,10 +55,16 @@ Network::Network(std::shared_ptr<const topo::Topology> topology,
       paths_(stitcher_, params.path_cache_entries),
       params_(params),
       router_ipid_count_(topology_->routers().size()),
-      host_ipid_count_(topology_->hosts().size()) {}
+      host_ipid_count_(topology_->hosts().size()) {
+  buckets_.reserve(topology_->routers().size());
+  for (RouterId id = 0; id < topology_->routers().size(); ++id) {
+    const RouterBehavior& b = behaviors_->router(id);
+    buckets_.emplace_back(b.options_rate_pps, b.options_burst);
+  }
+}
 
 void Network::reset() {
-  for (auto& [id, bucket] : buckets_) bucket.reset();
+  for (auto& bucket : buckets_) bucket.reset();
   counters_ = NetCounters{};
   fault_counters_.reset();
 }
@@ -76,15 +82,26 @@ void Network::merge_counters(const NetCounters& tally) {
   counters_.port_unreachables += tally.port_unreachables;
 }
 
-TokenBucket& Network::bucket_for(RouterId router) {
-  auto it = buckets_.find(router);
-  if (it == buckets_.end()) {
-    const RouterBehavior& b = behaviors_->router(router);
-    it = buckets_
-             .emplace(router, TokenBucket{b.options_rate_pps, b.options_burst})
-             .first;
+bool Network::reverse_hops(HostId dst, HostId reply_to, SendContext* ctx,
+                           route::PathCache::EntryPtr& entry,
+                           std::span<const route::PathHop>& hops) {
+  if (fib_ != nullptr) {
+    std::vector<route::PathHop>& scratch =
+        ctx != nullptr ? ctx->rev_path_scratch : serial_rev_path_scratch_;
+    switch (fib_->reverse(dst, reply_to, scratch)) {
+      case route::CompiledFib::Lookup::kHit:
+        hops = scratch;
+        return true;
+      case route::CompiledFib::Lookup::kUnroutable:
+        return false;
+      case route::CompiledFib::Lookup::kMiss:
+        break;  // pair not compiled; consult the cache
+    }
   }
-  return it->second;
+  entry = paths_.host_path(dst, reply_to);
+  if (!entry->routable) return false;
+  hops = entry->hops;
+  return true;
 }
 
 std::uint16_t Network::next_ip_id(bool is_router, std::uint32_t id,
@@ -327,18 +344,44 @@ std::optional<Network::Delivery> Network::send_reusing(
   const topo::AsId src_as = topology_->host_at(src).as_id;
   topo::AsId dst_as;
   route::PathCache::EntryPtr fwd_entry;
+  std::span<const route::PathHop> fwd_hops;
+  bool fwd_routable = false;
   if (owner->kind == topo::AddressOwner::Kind::kHost) {
     dst_as = topology_->host_at(owner->id).as_id;
-    fwd_entry = paths_.host_path(src, owner->id);
+    bool resolved = false;
+    if (fib_ != nullptr) {
+      // Compiled fast path: the table copies the spine into the per-send
+      // scratch, so no cache shard is touched and no entry is pinned.
+      std::vector<route::PathHop>& scratch =
+          ctx != nullptr ? ctx->fwd_path_scratch : serial_fwd_path_scratch_;
+      switch (fib_->forward(src, owner->id, scratch)) {
+        case route::CompiledFib::Lookup::kHit:
+          fwd_hops = scratch;
+          fwd_routable = true;
+          resolved = true;
+          break;
+        case route::CompiledFib::Lookup::kUnroutable:
+          resolved = true;
+          break;
+        case route::CompiledFib::Lookup::kMiss:
+          break;  // pair not compiled; consult the cache
+      }
+    }
+    if (!resolved) {
+      fwd_entry = paths_.host_path(src, owner->id);
+      fwd_routable = fwd_entry->routable;
+      if (fwd_routable) fwd_hops = fwd_entry->hops;
+    }
   } else {
     dst_as = topology_->router_at(owner->id).as_id;
     fwd_entry = paths_.host_to_router_path(src, owner->id);
+    fwd_routable = fwd_entry->routable;
+    if (fwd_routable) fwd_hops = fwd_entry->hops;
   }
-  if (!fwd_entry->routable) {
+  if (!fwd_routable) {
     ++c.dropped_unroutable;
     return std::nullopt;
   }
-  std::span<const route::PathHop> fwd_hops{fwd_entry->hops};
   if (owner->kind == topo::AddressOwner::Kind::kRouter &&
       !fwd_hops.empty()) {
     // The probed router is the final element; it answers rather than
@@ -459,12 +502,13 @@ std::optional<Network::Delivery> Network::host_respond(
       });
       std::swap(bytes, scratch.bytes);
     }
-    const auto rev_entry = paths_.host_path(dst, reply_to);
-    if (!rev_entry->routable) {
+    route::PathCache::EntryPtr rev_entry;
+    std::span<const route::PathHop> rev_hops;
+    if (!reverse_hops(dst, reply_to, ctx, rev_entry, rev_hops)) {
       ++c.dropped_unroutable;
       return std::nullopt;
     }
-    return deliver_back(bytes, rev_entry->hops, time,
+    return deliver_back(bytes, rev_hops, time,
                         topology_->host_at(dst).as_id,
                         topology_->host_at(reply_to).as_id, reply_to, flow,
                         ctx, doomed);
@@ -492,12 +536,13 @@ std::optional<Network::Delivery> Network::host_respond(
     fault_counters_.note(FaultKind::kQuoteMangle);
   }
   std::swap(bytes, scratch.bytes);
-  const auto rev_entry = paths_.host_path(dst, reply_to);
-  if (!rev_entry->routable) {
+  route::PathCache::EntryPtr rev_entry;
+  std::span<const route::PathHop> rev_hops;
+  if (!reverse_hops(dst, reply_to, ctx, rev_entry, rev_hops)) {
     ++c.dropped_unroutable;
     return std::nullopt;
   }
-  return deliver_back(bytes, rev_entry->hops, time,
+  return deliver_back(bytes, rev_hops, time,
                       topology_->host_at(dst).as_id,
                       topology_->host_at(reply_to).as_id, reply_to, flow, ctx,
                       doomed);

@@ -49,9 +49,9 @@
 #include <memory>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "routing/fib.h"
 #include "routing/path_cache.h"
 #include "routing/stitcher.h"
 #include "sim/behavior.h"
@@ -148,6 +148,12 @@ struct SendContext {
   NetCounters counters;
   ProbeTrace trace;
   ReplyScratch scratch;
+  /// Hop-list scratch for compiled-FIB lookups (routing/fib.h): the FIB
+  /// copies a path spine into these instead of handing out shared cache
+  /// entries. Forward and reverse are separate because the forward hops
+  /// must stay valid while the reply leg resolves its own path.
+  std::vector<route::PathHop> fwd_path_scratch;
+  std::vector<route::PathHop> rev_path_scratch;
 };
 
 class Network {
@@ -213,6 +219,19 @@ class Network {
   [[nodiscard]] const FaultPlan& fault_plan() const noexcept {
     return fault_plan_;
   }
+  /// Installs (or, with nullptr, removes) a compiled forwarding table for
+  /// host-to-host campaign traffic. While installed, send() resolves
+  /// covered forward/reverse host paths from the table — bit-identical to
+  /// the stitcher's output — and falls back to the path cache for pairs
+  /// outside its coverage. Swapping tables between campaign blocks is a
+  /// caller-serialized operation; concurrent sends must not be in flight.
+  void set_compiled_fib(std::shared_ptr<const route::CompiledFib> fib) {
+    fib_ = std::move(fib);
+  }
+  [[nodiscard]] const route::CompiledFib* compiled_fib() const noexcept {
+    return fib_.get();
+  }
+
   /// Per-kind injected-fault tallies. Diagnostics only: in deferred mode
   /// they include faults on optimistically-walked probes that replay later
   /// kills, so unlike NetCounters they are not thread-count-exact.
@@ -306,21 +325,38 @@ class Network {
     return ctx != nullptr ? ctx->scratch : serial_scratch_;
   }
 
+  /// Resolves the reverse host path for a response (`dst` -> `reply_to`)
+  /// via the compiled FIB when installed, else the path cache. Returns
+  /// false when unroutable; on success `hops` views either the context's
+  /// reverse scratch or the cache entry kept alive by `entry`.
+  bool reverse_hops(HostId dst, HostId reply_to, SendContext* ctx,
+                    route::PathCache::EntryPtr& entry,
+                    std::span<const route::PathHop>& hops);
+
   [[nodiscard]] std::uint16_t next_ip_id(bool is_router, std::uint32_t id,
                                          double now);
 
-  TokenBucket& bucket_for(RouterId router);
+  TokenBucket& bucket_for(RouterId router) noexcept {
+    return buckets_[router];
+  }
 
   std::shared_ptr<const topo::Topology> topology_;
   std::shared_ptr<const Behaviors> behaviors_;
   route::PathStitcher stitcher_;
   route::PathCache paths_;
+  std::shared_ptr<const route::CompiledFib> fib_;
   NetParams params_;
   NetCounters counters_;
   FaultPlan fault_plan_;
   FaultCounters fault_counters_;
-  std::unordered_map<RouterId, TokenBucket> buckets_;
+  /// One bucket per router, indexed by RouterId and initialised from the
+  /// router's behaviour at construction (satellite of the compiled
+  /// forwarding plane: the old lazy hash map cost a probe-path lookup per
+  /// policed hop).
+  std::vector<TokenBucket> buckets_;
   ReplyScratch serial_scratch_;  // ctx == nullptr sends only
+  std::vector<route::PathHop> serial_fwd_path_scratch_;
+  std::vector<route::PathHop> serial_rev_path_scratch_;
   std::vector<std::atomic<std::uint32_t>> router_ipid_count_;
   std::vector<std::atomic<std::uint32_t>> host_ipid_count_;
 };

@@ -1,0 +1,53 @@
+#include "topology/address_index.h"
+
+#include <cassert>
+
+namespace rr::topo {
+
+void AddressIndex::insert(net::IPv4Address addr, AddressOwner owner) {
+  assert(owner.id < kHostBit);
+  const std::uint32_t packed =
+      owner.id |
+      (owner.kind == AddressOwner::Kind::kHost ? kHostBit : 0u);
+  const std::uint32_t key = addr.value();
+  if (key == 0) {
+    zero_owner_ = owner;
+    return;
+  }
+  // Grow at ~0.75 load so probe chains stay short.
+  if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
+  for (std::size_t i = util::mix64(key) & mask_;; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.key == key) {
+      slot.owner = packed;
+      return;
+    }
+    if (slot.key == 0) {
+      slot = {key, packed};
+      ++size_;
+      return;
+    }
+  }
+}
+
+void AddressIndex::rehash(std::size_t expected) {
+  std::size_t capacity = 16;
+  while (capacity * 3 < expected * 4) capacity *= 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+  size_ = 0;
+  for (const Slot& slot : old) {
+    if (slot.key == 0) continue;
+    for (std::size_t i = util::mix64(slot.key) & mask_;;
+         i = (i + 1) & mask_) {
+      if (slots_[i].key == 0) {
+        slots_[i] = slot;
+        ++size_;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rr::topo

@@ -87,6 +87,10 @@ std::shared_ptr<const Topology> Generator::generate() {
   build_destinations(*topo, alloc, rng);
   place_vantage_points(*topo, alloc, rng);
 
+  // Freeze the address services into the compiled forwarding plane; the
+  // topology is immutable from here on.
+  topo->compile();
+
   util::log_info() << "generated topology: " << topo->summary();
   return topo;
 }
@@ -523,8 +527,8 @@ void Generator::build_routers(Topology& topo, AllocState& alloc,
     const RouterId id = static_cast<RouterId>(topo.routers_.size());
     topo.routers_.push_back(std::move(router));
     topo.ases_[as].routers.push_back(id);
-    topo.owner_by_address_.emplace(
-        topo.routers_[id].loopback.value(),
+    topo.address_index_.insert(
+        topo.routers_[id].loopback,
         AddressOwner{AddressOwner::Kind::kRouter, id});
     return id;
   };
@@ -533,8 +537,8 @@ void Generator::build_routers(Topology& topo, AllocState& alloc,
     const net::IPv4Address addr =
         alloc.infra_addr(topo, topo.routers_[id].as_id);
     topo.routers_[id].interfaces.push_back(addr);
-    topo.owner_by_address_.emplace(
-        addr.value(), AddressOwner{AddressOwner::Kind::kRouter, id});
+    topo.address_index_.insert(
+        addr, AddressOwner{AddressOwner::Kind::kRouter, id});
     return addr;
   };
 
@@ -581,14 +585,14 @@ void Generator::build_destinations(Topology& topo, AllocState& alloc,
     const RouterId id = static_cast<RouterId>(topo.routers_.size());
     topo.routers_.push_back(std::move(router));
     topo.ases_[as].routers.push_back(id);
-    topo.owner_by_address_.emplace(
-        topo.routers_[id].loopback.value(),
+    topo.address_index_.insert(
+        topo.routers_[id].loopback,
         AddressOwner{AddressOwner::Kind::kRouter, id});
     // One downstream-facing interface besides the loopback.
     const net::IPv4Address addr = alloc.infra_addr(topo, as);
     topo.routers_[id].interfaces.push_back(addr);
-    topo.owner_by_address_.emplace(
-        addr.value(), AddressOwner{AddressOwner::Kind::kRouter, id});
+    topo.address_index_.insert(
+        addr, AddressOwner{AddressOwner::Kind::kRouter, id});
     return id;
   };
 
@@ -657,11 +661,11 @@ void Generator::build_destinations(Topology& topo, AllocState& alloc,
       topo.hosts_.push_back(host);
       info.hosts.push_back(host_id);
       topo.destinations_.push_back(host_id);
-      topo.owner_by_address_.emplace(
-          host.address.value(), AddressOwner{AddressOwner::Kind::kHost, host_id});
+      topo.address_index_.insert(
+          host.address, AddressOwner{AddressOwner::Kind::kHost, host_id});
       for (const auto& alias : host.aliases) {
-        topo.owner_by_address_.emplace(
-            alias.value(), AddressOwner{AddressOwner::Kind::kHost, host_id});
+        topo.address_index_.insert(
+            alias, AddressOwner{AddressOwner::Kind::kHost, host_id});
       }
     }
   }
@@ -685,8 +689,8 @@ void Generator::place_vantage_points(Topology& topo, AllocState& alloc,
       const RouterId id = static_cast<RouterId>(topo.routers_.size());
       topo.routers_.push_back(std::move(router));
       topo.ases_[owner_as].routers.push_back(id);
-      topo.owner_by_address_.emplace(
-          topo.routers_[id].loopback.value(),
+      topo.address_index_.insert(
+          topo.routers_[id].loopback,
           AddressOwner{AddressOwner::Kind::kRouter, id});
       return id;
     };
@@ -705,8 +709,8 @@ void Generator::place_vantage_points(Topology& topo, AllocState& alloc,
     host.prefix = topo.ases_[as].infra_prefix;
     const HostId host_id = static_cast<HostId>(topo.hosts_.size());
     topo.hosts_.push_back(host);
-    topo.owner_by_address_.emplace(
-        host.address.value(), AddressOwner{AddressOwner::Kind::kHost, host_id});
+    topo.address_index_.insert(
+        host.address, AddressOwner{AddressOwner::Kind::kHost, host_id});
     return host_id;
   };
 

@@ -24,44 +24,41 @@ const char* to_string(Platform platform) noexcept {
   return "?";
 }
 
-std::vector<const VantagePoint*> Topology::vantage_points_in(
-    Epoch epoch) const {
-  std::vector<const VantagePoint*> out;
+void Topology::compile() {
+  flat_address_to_as_ = net::FlatLpm<AsId>{address_to_as_};
+
+  vps_2011_.clear();
+  vps_2016_.clear();
   for (const auto& vp : vantage_points_) {
-    const bool exists =
-        epoch == Epoch::k2011 ? vp.exists_in_2011 : vp.exists_in_2016;
-    if (exists) out.push_back(&vp);
+    if (vp.exists_in_2011) vps_2011_.push_back(&vp);
+    if (vp.exists_in_2016) vps_2016_.push_back(&vp);
   }
-  return out;
+
+  // Hosts with extra aliases get a contiguous [address, aliases...] run;
+  // the common no-alias host is served straight from its inline member.
+  host_alias_offset_.assign(hosts_.size(), kNoAliasEntry);
+  host_alias_arena_.clear();
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    const Host& host = hosts_[h];
+    if (host.aliases.empty()) continue;
+    host_alias_offset_[h] = static_cast<std::uint32_t>(host_alias_arena_.size());
+    host_alias_arena_.push_back(host.address);
+    host_alias_arena_.insert(host_alias_arena_.end(), host.aliases.begin(),
+                             host.aliases.end());
+  }
 }
 
-std::optional<AsId> Topology::as_of_address(
+std::span<const net::IPv4Address> Topology::aliases_of(
     net::IPv4Address addr) const noexcept {
-  const AsId* found = address_to_as_.lookup(addr);
-  if (!found) return std::nullopt;
-  return *found;
-}
-
-std::optional<AddressOwner> Topology::owner_of(
-    net::IPv4Address addr) const noexcept {
-  const auto it = owner_by_address_.find(addr.value());
-  if (it == owner_by_address_.end()) return std::nullopt;
-  return it->second;
-}
-
-std::vector<net::IPv4Address> Topology::aliases_of(
-    net::IPv4Address addr) const {
   const auto owner = owner_of(addr);
   if (!owner) return {};
   if (owner->kind == AddressOwner::Kind::kRouter) {
     return routers_[owner->id].interfaces;
   }
   const Host& host = hosts_[owner->id];
-  std::vector<net::IPv4Address> out;
-  out.reserve(1 + host.aliases.size());
-  out.push_back(host.address);
-  out.insert(out.end(), host.aliases.begin(), host.aliases.end());
-  return out;
+  const std::uint32_t offset = host_alias_offset_[owner->id];
+  if (offset == kNoAliasEntry) return {&host.address, 1};
+  return {host_alias_arena_.data() + offset, 1 + host.aliases.size()};
 }
 
 std::optional<LinkId> Topology::link_between(AsId a, AsId b) const noexcept {

@@ -4,6 +4,13 @@
 // Topology is immutable after generation. Routing (src/routing) computes
 // paths over it per epoch; the simulator (src/sim) adds per-device
 // behaviour on top.
+//
+// Address services run on a compiled forwarding plane: the generator fills
+// a mutable LpmTrie and then calls compile(), which freezes it into a flat
+// DIR-24-8 table (netbase/flat_lpm.h), precomputes the per-epoch vantage-
+// point lists, and lays host alias sets out in one arena — so the per-
+// packet queries (`as_of_address`, `owner_of`, `aliases_of`) are array
+// loads with no per-call allocation. See DESIGN.md §8.
 #pragma once
 
 #include <cstdint>
@@ -13,18 +20,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netbase/flat_lpm.h"
 #include "netbase/lpm_trie.h"
+#include "topology/address_index.h"
 #include "topology/types.h"
 
 namespace rr::topo {
-
-/// Who owns an IP address: a router interface or an end-host device.
-struct AddressOwner {
-  enum class Kind : std::uint8_t { kRouter, kHost } kind = Kind::kRouter;
-  std::uint32_t id = 0;  // RouterId or HostId
-
-  [[nodiscard]] bool operator==(const AddressOwner&) const = default;
-};
 
 class Topology {
  public:
@@ -66,26 +67,35 @@ class Topology {
     return destinations_;
   }
 
-  /// Vantage points available in a given epoch.
-  [[nodiscard]] std::vector<const VantagePoint*> vantage_points_in(
-      Epoch epoch) const;
+  /// Vantage points available in a given epoch (precompiled, stable order).
+  [[nodiscard]] std::span<const VantagePoint* const> vantage_points_in(
+      Epoch epoch) const noexcept {
+    return epoch == Epoch::k2011 ? vps_2011_ : vps_2016_;
+  }
 
   // ------------------------------------------------------ address services
   /// AS owning an address, via longest-prefix match over advertised +
   /// infrastructure blocks (this is what AS-path extraction from RR or
   /// traceroute data uses).
   [[nodiscard]] std::optional<AsId> as_of_address(
-      net::IPv4Address addr) const noexcept;
+      net::IPv4Address addr) const noexcept {
+    const AsId* found = flat_address_to_as_.lookup(addr);
+    if (!found) return std::nullopt;
+    return *found;
+  }
 
   /// Device-level owner (exact match), for the simulator and for alias
   /// ground truth. Nullopt for addresses that were never assigned.
   [[nodiscard]] std::optional<AddressOwner> owner_of(
-      net::IPv4Address addr) const noexcept;
+      net::IPv4Address addr) const noexcept {
+    return address_index_.find(addr);
+  }
 
   /// Ground-truth alias set (all addresses of the owning device),
-  /// or empty if the address is unassigned.
-  [[nodiscard]] std::vector<net::IPv4Address> aliases_of(
-      net::IPv4Address addr) const;
+  /// or empty if the address is unassigned. The view aliases storage
+  /// owned by the topology; no per-call allocation.
+  [[nodiscard]] std::span<const net::IPv4Address> aliases_of(
+      net::IPv4Address addr) const noexcept;
 
   /// The inter-AS link between two ASes, if adjacent (at most one link per
   /// AS pair is generated).
@@ -102,6 +112,12 @@ class Topology {
   [[nodiscard]] std::span<const RouterId> access_chain(
       RouterId access_router) const noexcept;
 
+  /// The mutable-build prefix trie the flat table was compiled from; kept
+  /// as the reference structure for equivalence tests.
+  [[nodiscard]] const net::LpmTrie<AsId>& address_trie() const noexcept {
+    return address_to_as_;
+  }
+
   // ------------------------------------------------------------ statistics
   [[nodiscard]] std::size_t num_destination_prefixes() const noexcept {
     return destinations_.size();
@@ -117,6 +133,12 @@ class Topology {
     return (std::uint64_t{lo} << 32) | hi;
   }
 
+  /// Freezes the generated world into the compiled forwarding plane:
+  /// flattens the prefix trie, caches the per-epoch VP lists, and builds
+  /// the host-alias arena. Called once at the end of generation; queries
+  /// before compile() see empty flat structures.
+  void compile();
+
   std::vector<AsInfo> ases_;
   std::vector<Router> routers_;
   std::vector<Host> hosts_;
@@ -127,9 +149,19 @@ class Topology {
   HostId probe_host_ = kNoHost;
 
   net::LpmTrie<AsId> address_to_as_;
-  std::unordered_map<std::uint32_t, AddressOwner> owner_by_address_;
+  AddressIndex address_index_;
   std::unordered_map<std::uint64_t, LinkId> link_by_pair_;
   std::unordered_map<RouterId, std::vector<RouterId>> access_chain_;
+
+  // ---------------------------------------------- compiled (see compile())
+  net::FlatLpm<AsId> flat_address_to_as_;
+  std::vector<const VantagePoint*> vps_2011_;
+  std::vector<const VantagePoint*> vps_2016_;
+  /// Per-host offset into host_alias_arena_ (kNoAliasEntry for hosts with
+  /// no extra aliases, whose set is just the inline `address` member).
+  static constexpr std::uint32_t kNoAliasEntry = 0xffff'ffffu;
+  std::vector<std::uint32_t> host_alias_offset_;
+  std::vector<net::IPv4Address> host_alias_arena_;  // [addr, aliases...] runs
 };
 
 }  // namespace rr::topo

@@ -1,0 +1,83 @@
+// End-to-end equivalence for the compiled forwarding plane: a campaign's
+// frozen dataset must be byte-identical (same content hash) whether paths
+// come from the compiled FIB or the legacy sharded cache + stitcher, at
+// any thread count, and — for a fixed block size — in streaming mode too.
+// This is the acceptance gate that lets use_compiled_fib default to on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "measure/campaign.h"
+#include "measure/testbed.h"
+
+namespace rr {
+namespace {
+
+using measure::Campaign;
+using measure::CampaignConfig;
+using measure::Testbed;
+using measure::TestbedConfig;
+
+std::uint64_t campaign_hash(Testbed& testbed, const CampaignConfig& config) {
+  const Campaign campaign = Campaign::run(testbed, config);
+  return data::CampaignDataset::from_campaign(campaign, "fib-equivalence")
+      .content_hash();
+}
+
+TEST(FibEquivalence, DatasetHashIdenticalAcrossFibAndThreads) {
+  TestbedConfig config;
+  config.topo_params = topo::TopologyParams::test_scale();
+  config.topo_params.seed = 20170331;
+  Testbed testbed{config};
+
+  CampaignConfig reference_config;
+  reference_config.use_compiled_fib = false;
+  reference_config.threads = 1;
+  const std::uint64_t reference = campaign_hash(testbed, reference_config);
+
+  for (const bool fib : {false, true}) {
+    for (const int threads : {1, 4}) {
+      if (!fib && threads == 1) continue;  // that run produced `reference`
+      CampaignConfig campaign_config;
+      campaign_config.use_compiled_fib = fib;
+      campaign_config.threads = threads;
+      EXPECT_EQ(campaign_hash(testbed, campaign_config), reference)
+          << "fib=" << fib << " threads=" << threads;
+    }
+  }
+}
+
+TEST(FibEquivalence, StreamingHashIdenticalAcrossFibAndThreads) {
+  TestbedConfig config;
+  config.topo_params = topo::TopologyParams::test_scale();
+  config.topo_params.seed = 20170331;
+  Testbed testbed{config};
+
+  // A block size smaller than the destination count, so the campaign
+  // actually iterates several blocks (test_scale yields a few hundred
+  // destinations).
+  constexpr std::size_t kBlock = 64;
+
+  CampaignConfig reference_config;
+  reference_config.use_compiled_fib = false;
+  reference_config.threads = 1;
+  reference_config.stream_block = kBlock;
+  const std::uint64_t reference = campaign_hash(testbed, reference_config);
+
+  for (const bool fib : {false, true}) {
+    for (const int threads : {1, 4}) {
+      if (!fib && threads == 1) continue;
+      CampaignConfig campaign_config;
+      campaign_config.use_compiled_fib = fib;
+      campaign_config.threads = threads;
+      campaign_config.stream_block = kBlock;
+      EXPECT_EQ(campaign_hash(testbed, campaign_config), reference)
+          << "fib=" << fib << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,8 +1,9 @@
 // rr-study: run a full measurement campaign on a generated Internet and
 // freeze it into a dataset file.
 //
-//   rr-study [--ases N] [--seed S] [--epoch 2011|2016] [--stride K]
-//            [--pps R] [--fault-plan SPEC] [--out study.rrds]
+//   rr-study [--scale paper] [--ases N] [--seed S] [--epoch 2011|2016]
+//            [--stride K] [--pps R] [--fib on|off] [--stream-block B]
+//            [--fault-plan SPEC] [--out study.rrds]
 //
 // The dataset can then be re-analyzed offline with rr-analyze.
 #include <cstdio>
@@ -22,11 +23,21 @@ int main(int argc, char** argv) {
   const auto flags = util::Flags::parse(argc, argv);
   if (flags.has("help")) {
     std::printf(
-        "usage: rr-study [--ases N] [--seed S] [--epoch 2011|2016]\n"
-        "                [--stride K] [--pps R] [--threads T]\n"
+        "usage: rr-study [--scale paper] [--ases N] [--seed S]\n"
+        "                [--epoch 2011|2016] [--stride K] [--pps R]\n"
+        "                [--threads T] [--fib on|off] [--stream-block B]\n"
         "                [--fault-plan SPEC] [--out FILE.rrds]\n"
+        "  --scale paper\n"
+        "               census-scale world (~510k destination prefixes,\n"
+        "               141 VPs); overrides --ases\n"
         "  --threads T  campaign worker threads (0 = RROPT_THREADS or all\n"
         "               cores; results are identical at any value)\n"
+        "  --fib on|off resolve campaign paths via the compiled forwarding\n"
+        "               table (default on; contents identical either way)\n"
+        "  --stream-block B\n"
+        "               streaming campaign: process destinations in blocks\n"
+        "               of B with a per-block forwarding table (0 = one\n"
+        "               block over the whole census)\n"
         "  --fault-plan SPEC\n"
         "               deterministic fault injection: 'none', a uniform\n"
         "               rate ('0.01'), or knobs ('rr_garble=0.1,storm=0.05,\n"
@@ -35,8 +46,16 @@ int main(int argc, char** argv) {
   }
 
   measure::TestbedConfig config;
-  config.topo_params.num_ases =
-      static_cast<int>(flags.get_int("ases", 1200));
+  const std::string scale = flags.get("scale", "");
+  if (scale == "paper") {
+    config.topo_params = topo::TopologyParams::census_scale();
+  } else if (!scale.empty()) {
+    std::fprintf(stderr, "error: unknown --scale '%s'\n", scale.c_str());
+    return 1;
+  } else {
+    config.topo_params.num_ases =
+        static_cast<int>(flags.get_int("ases", 1200));
+  }
   config.topo_params.seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 20160924));
   if (config.topo_params.num_ases < 5200) {
@@ -54,6 +73,9 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("stride", 1));
   campaign_config.vp_pps = flags.get_double("pps", 20.0);
   campaign_config.threads = static_cast<int>(flags.get_int("threads", 0));
+  campaign_config.use_compiled_fib = flags.get("fib", "on") != "off";
+  campaign_config.stream_block =
+      static_cast<std::size_t>(flags.get_int("stream-block", 0));
   const std::string fault_spec = flags.get("fault-plan", "none");
   const auto faults = sim::parse_fault_plan(fault_spec);
   if (!faults) {
@@ -93,6 +115,10 @@ int main(int argc, char** argv) {
   std::printf("dataset written to %s (%zu VPs x %zu destinations)\n",
               out_path.c_str(), dataset.num_vps(),
               dataset.num_destinations());
+  // Stable fingerprint for cross-run equivalence checks (--fib on/off,
+  // different --threads must print the same hash).
+  std::printf("dataset hash: %016llx\n",
+              static_cast<unsigned long long>(dataset.content_hash()));
 
   for (const auto& key : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
