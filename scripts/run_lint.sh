@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the repo's static checks locally, mirroring the CI static-analysis
+# job as closely as the available toolchain allows:
+#
+#   1. rropt_lint over src/        (always; builds the linter if needed)
+#   2. clang-tidy over src/        (only if clang-tidy is installed)
+#
+# The third CI check — a clang build with -Werror=thread-safety — needs a
+# clang toolchain and is easiest reproduced with:
+#   CC=clang CXX=clang++ cmake -B build-clang && cmake --build build-clang
+#
+#   scripts/run_lint.sh [build-dir]    (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+build=${1:-build}
+
+if [[ ! -d "$build" ]]; then
+  cmake -B "$build" -S .
+fi
+cmake --build "$build" --target rropt_lint -j "$(nproc)"
+
+echo "== rropt_lint src/"
+"$build"/tools/lint/rropt_lint src
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy src/"
+  run-clang-tidy -quiet -p "$build" "$(pwd)/src/.*" || exit 1
+elif command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy src/ (serial; install run-clang-tidy for parallel)"
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n1 -P "$(nproc)" clang-tidy -quiet -p "$build"
+else
+  echo "== clang-tidy not installed; skipped (CI runs it)"
+fi
+
+echo "static checks passed"

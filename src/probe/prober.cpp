@@ -59,6 +59,11 @@ Prober::Prober(sim::Network& network, topo::HostId source,
 
 void Prober::probe_into(const ProbeSpec& spec, sim::SendContext* ctx,
                         ProbeResult& out) {
+  // RROPT_HOT_BEGIN(prober-probe): one exchange per call at campaign rate;
+  // probe bytes are built into the recycled buffer and the delivery's
+  // storage is reclaimed below, so the steady state allocates nothing —
+  // rropt_lint keeps it that way by banning unwaived allocation here.
+  //
   // Reset here, not just in Network::send: an early return before the send
   // must not leave the previous probe's trace (or result fields) behind
   // for a deferred-replay caller to mistake for this probe's.
@@ -97,6 +102,7 @@ void Prober::probe_into(const ProbeSpec& spec, sim::SendContext* ctx,
     buf_ = std::move(delivery->bytes);
   }
   if (buf_.capacity() != capacity_before) ++buffer_growths_;
+  // RROPT_HOT_END(prober-probe)
 }
 
 void Prober::parse_response_into(const ProbeSpec& spec, std::uint16_t seq,

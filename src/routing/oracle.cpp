@@ -149,7 +149,7 @@ bool RoutingOracle::reachable(AsId src, AsId dst) {
 
 void RoutingOracle::fallback_path_into(AsId src, AsId dst,
                                        std::vector<AsId>& out) {
-  std::lock_guard<std::mutex> lock(fallback_mu_);
+  util::MutexLock lock(fallback_mu_);
   if (const auto it = fallback_.find(dst); it != fallback_.end()) {
     it->second->as_path_into(src, out);
     return;

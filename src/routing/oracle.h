@@ -30,13 +30,14 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "routing/bgp.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace rr::route {
 
@@ -71,7 +72,8 @@ class RoutingOracle {
  private:
   /// Fills `out` with the fallback path (the tree reference cannot outlive
   /// the cache lock, so the lookup happens under it).
-  void fallback_path_into(AsId src, AsId dst, std::vector<AsId>& out);
+  void fallback_path_into(AsId src, AsId dst, std::vector<AsId>& out)
+      RROPT_EXCLUDES(fallback_mu_);
 
   BgpEngine engine_;
   std::vector<AsId> sources_;                      // sorted, unique
@@ -90,10 +92,11 @@ class RoutingOracle {
   // Eviction replaces the slot at `fallback_evict_at_` and advances it (a
   // ring), the same idiom as PathCache::Shard — never an O(n) pop-front.
   static constexpr std::size_t kFallbackCacheSize = 64;
-  std::mutex fallback_mu_;
-  std::unordered_map<AsId, std::unique_ptr<RouteTree>> fallback_;
-  std::vector<AsId> fallback_order_;
-  std::size_t fallback_evict_at_ = 0;
+  util::Mutex fallback_mu_;
+  std::unordered_map<AsId, std::unique_ptr<RouteTree>> fallback_
+      RROPT_GUARDED_BY(fallback_mu_);
+  std::vector<AsId> fallback_order_ RROPT_GUARDED_BY(fallback_mu_);
+  std::size_t fallback_evict_at_ RROPT_GUARDED_BY(fallback_mu_) = 0;
 };
 
 }  // namespace rr::route

@@ -24,7 +24,7 @@ PathCache::EntryPtr PathCache::lookup(Kind kind, std::uint64_t src,
   Shard& shard = shards_[util::mix64(key) % kShards];
 
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     if (const auto it = shard.map.find(key); it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
@@ -51,7 +51,7 @@ PathCache::EntryPtr PathCache::lookup(Kind kind, std::uint64_t src,
   }
   if (!entry->routable) entry->hops.clear();
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   const auto [it, inserted] = shard.map.emplace(key, entry);
   if (!inserted) return it->second;  // another thread computed it first
   if (max_per_shard_ > 0) {
@@ -80,7 +80,7 @@ PathCache::EntryPtr PathCache::host_to_router_path(HostId src, RouterId dst) {
 
 void PathCache::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     shard.map.clear();
     shard.order.clear();
     shard.evict_at = 0;

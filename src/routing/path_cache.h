@@ -20,11 +20,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "routing/stitcher.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace rr::route {
 
@@ -66,10 +67,11 @@ class PathCache {
 
   static constexpr std::size_t kShards = 64;
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<std::uint64_t, EntryPtr> map;
-    std::vector<std::uint64_t> order;  // FIFO eviction ring
-    std::size_t evict_at = 0;
+    util::Mutex mu;
+    std::unordered_map<std::uint64_t, EntryPtr> map RROPT_GUARDED_BY(mu);
+    std::vector<std::uint64_t> order
+        RROPT_GUARDED_BY(mu);  // FIFO eviction ring
+    std::size_t evict_at RROPT_GUARDED_BY(mu) = 0;
   };
 
   PathStitcher stitcher_;

@@ -56,6 +56,7 @@ Network::Network(std::shared_ptr<const topo::Topology> topology,
       params_(params),
       router_ipid_count_(topology_->routers().size()),
       host_ipid_count_(topology_->hosts().size()) {
+  util::SerialGateLock gate(serial_gate_);
   buckets_.reserve(topology_->routers().size());
   for (RouterId id = 0; id < topology_->routers().size(); ++id) {
     const RouterBehavior& b = behaviors_->router(id);
@@ -64,12 +65,14 @@ Network::Network(std::shared_ptr<const topo::Topology> topology,
 }
 
 void Network::reset() {
+  util::SerialGateLock gate(serial_gate_);
   for (auto& bucket : buckets_) bucket.reset();
   counters_ = NetCounters{};
   fault_counters_.reset();
 }
 
 void Network::merge_counters(const NetCounters& tally) {
+  util::SerialGateLock gate(serial_gate_);
   counters_.sent += tally.sent;
   counters_.delivered += tally.delivered;
   counters_.responses += tally.responses;
@@ -122,6 +125,10 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
                                   double start, topo::AsId src_as,
                                   topo::AsId dst_as, std::uint64_t flow,
                                   int leg, SendContext* ctx, bool doomed_in) {
+  // RROPT_HOT_BEGIN(network-walk): the per-hop pipeline runs once per
+  // router per leg at campaign scale. rropt_lint bans heap-allocating
+  // calls between these markers unless the line carries an RROPT_HOT_OK
+  // waiver explaining why the allocation is steady-state-free.
   WalkResult result;
   NetCounters& c = counters_for(ctx);
   double now = start;
@@ -236,10 +243,16 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
           // Deferred mode: record the consume for serial resolution and
           // continue as if it succeeded. A failed consume is a silent
           // drop, so nothing later in the walk would have differed.
-          ctx->trace.events.push_back({router, now, leg != 0});
-        } else if (!bucket_for(router).try_consume(now)) {
-          if (!doomed) ++c.dropped_rate_limit;
-          return result;
+          ctx->trace.events.push_back(  // RROPT_HOT_OK: capacity recycled
+              {router, now, leg != 0});
+        } else {
+          // Serial mode: ctx == nullptr is the caller's no-concurrency
+          // promise, which is what holding the serial gate means.
+          serial_gate_.assert_held();
+          if (!bucket_for(router).try_consume(now)) {
+            if (!doomed) ++c.dropped_rate_limit;
+            return result;
+          }
         }
       }
       const bool at_edge = (as == src_as) || (as == dst_as);
@@ -290,6 +303,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
   result.doomed = doomed;
   result.time = now + params_.hop_delay_s;  // final hop to the device
   return result;
+  // RROPT_HOT_END(network-walk)
 }
 
 std::optional<HostId> Network::host_owning(net::IPv4Address addr) const {
@@ -339,7 +353,9 @@ std::optional<Network::Delivery> Network::send_reusing(
   flow = util::mix64(flow ^
                      ((std::uint64_t{src} << 32) ^ dst_addr->value()));
   flow = util::mix64(flow ^ std::bit_cast<std::uint64_t>(time));
-  if (ctx == nullptr) flow = util::mix64(flow ^ counters_.sent);
+  // `c` is counters_ exactly when ctx == nullptr, so this reads the
+  // global send counter through the serial-gate-checked reference.
+  if (ctx == nullptr) flow = util::mix64(flow ^ c.sent);
 
   const topo::AsId src_as = topology_->host_at(src).as_id;
   topo::AsId dst_as;

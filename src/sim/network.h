@@ -57,6 +57,8 @@
 #include "sim/behavior.h"
 #include "sim/fault.h"
 #include "sim/token_bucket.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace rr::sim {
@@ -200,22 +202,31 @@ class Network {
 
   /// Serial-phase resolution of one deferred options-token consume.
   /// Callers must feed events in their chosen canonical order (the
-  /// campaign uses virtual-time order); concurrent calls are not allowed.
-  bool try_consume_options_token(RouterId router, double now) {
+  /// campaign uses virtual-time order); concurrent calls are not allowed —
+  /// the serial gate (util/mutex.h) turns that sentence into a capability
+  /// the thread-safety analysis checks on every bucket access.
+  bool try_consume_options_token(RouterId router, double now)
+      RROPT_EXCLUDES(serial_gate_) {
+    util::SerialGateLock gate(serial_gate_);
     return bucket_for(router).try_consume(now);
   }
 
-  /// Folds a per-worker counter tally into the network totals.
-  void merge_counters(const NetCounters& tally);
+  /// Folds a per-worker counter tally into the network totals. Serial
+  /// phase only: must not race sends or other merges.
+  void merge_counters(const NetCounters& tally) RROPT_EXCLUDES(serial_gate_);
 
   /// Resets token buckets and counters (fresh measurement campaign).
-  void reset();
+  void reset() RROPT_EXCLUDES(serial_gate_);
 
   /// Installs a fault-injection schedule (see sim/fault.h). The default
   /// plan is inert; installing an inert plan restores exact no-fault
   /// behaviour — every fault draw uses its own key space, so baseline
-  /// loss/bucket decisions are untouched either way.
-  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  /// loss/bucket decisions are untouched either way. Installs are a
+  /// serial-phase operation (sends read the plan lock-free).
+  void set_fault_plan(const FaultPlan& plan) RROPT_EXCLUDES(serial_gate_) {
+    util::SerialGateLock gate(serial_gate_);
+    fault_plan_ = plan;
+  }
   [[nodiscard]] const FaultPlan& fault_plan() const noexcept {
     return fault_plan_;
   }
@@ -225,7 +236,9 @@ class Network {
   /// the stitcher's output — and falls back to the path cache for pairs
   /// outside its coverage. Swapping tables between campaign blocks is a
   /// caller-serialized operation; concurrent sends must not be in flight.
-  void set_compiled_fib(std::shared_ptr<const route::CompiledFib> fib) {
+  void set_compiled_fib(std::shared_ptr<const route::CompiledFib> fib)
+      RROPT_EXCLUDES(serial_gate_) {
+    util::SerialGateLock gate(serial_gate_);
     fib_ = std::move(fib);
   }
   [[nodiscard]] const route::CompiledFib* compiled_fib() const noexcept {
@@ -240,6 +253,9 @@ class Network {
   }
 
   [[nodiscard]] const NetCounters& counters() const noexcept {
+    // Reading totals mid-campaign would race worker merges; callers read
+    // them between phases, which is exactly the serial contract.
+    serial_gate_.assert_held();
     return counters_;
   }
   [[nodiscard]] const topo::Topology& topology() const noexcept {
@@ -318,7 +334,12 @@ class Network {
                                        bool doomed);
 
   [[nodiscard]] NetCounters& counters_for(SendContext* ctx) noexcept {
-    return ctx != nullptr ? ctx->counters : counters_;
+    if (ctx != nullptr) return ctx->counters;
+    // ctx == nullptr is the serial-mode promise (see send()): the caller
+    // asserted no concurrent sends, so the network totals are safe to
+    // mutate directly.
+    serial_gate_.assert_held();
+    return counters_;
   }
 
   [[nodiscard]] ReplyScratch& scratch_for(SendContext* ctx) noexcept {
@@ -336,7 +357,8 @@ class Network {
   [[nodiscard]] std::uint16_t next_ip_id(bool is_router, std::uint32_t id,
                                          double now);
 
-  TokenBucket& bucket_for(RouterId router) noexcept {
+  TokenBucket& bucket_for(RouterId router) noexcept
+      RROPT_REQUIRES(serial_gate_) {
     return buckets_[router];
   }
 
@@ -346,14 +368,24 @@ class Network {
   route::PathCache paths_;
   std::shared_ptr<const route::CompiledFib> fib_;
   NetParams params_;
-  NetCounters counters_;
+  /// Phase capability for the caller-serialized state below. Not a lock
+  /// (zero cost): it names the campaign's structural guarantee — buckets
+  /// and aggregate counters are only consulted live in serial phases
+  /// (serial-mode sends, deferred replay, reset/merge between chunks) —
+  /// so the compiler can reject code that touches them without it.
+  /// `fault_plan_` and `fib_` are deliberately outside the capability:
+  /// they are written only between campaigns but *read* concurrently by
+  /// every send, so a guarded-by would demand a capability on the hot
+  /// path; installs go through the gate-acquiring setters instead.
+  mutable util::SerialGate serial_gate_;
+  NetCounters counters_ RROPT_GUARDED_BY(serial_gate_);
   FaultPlan fault_plan_;
   FaultCounters fault_counters_;
   /// One bucket per router, indexed by RouterId and initialised from the
   /// router's behaviour at construction (satellite of the compiled
   /// forwarding plane: the old lazy hash map cost a probe-path lookup per
   /// policed hop).
-  std::vector<TokenBucket> buckets_;
+  std::vector<TokenBucket> buckets_ RROPT_GUARDED_BY(serial_gate_);
   ReplyScratch serial_scratch_;  // ctx == nullptr sends only
   std::vector<route::PathHop> serial_fwd_path_scratch_;
   std::vector<route::PathHop> serial_rev_path_scratch_;

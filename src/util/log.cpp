@@ -3,11 +3,23 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/annotations.h"
+#include "util/mutex.h"
+
 namespace rr::util {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Sink state shared by every logging thread. The level check stays a
+// lock-free atomic (it is the common case — discarded messages), but an
+// emitting thread takes the mutex for the whole line so concurrent
+// harness/bench threads never interleave mid-line, and so the sink
+// pointer cannot be swapped out from under a write.
+Mutex g_sink_mu;
+std::FILE* g_sink RROPT_GUARDED_BY(g_sink_mu) = nullptr;  // nullptr = stderr
+std::uint64_t g_lines RROPT_GUARDED_BY(g_sink_mu) = 0;
 
 constexpr const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -25,10 +37,23 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void set_log_sink(std::FILE* sink) {
+  MutexLock lock(g_sink_mu);
+  g_sink = sink;
+}
+
+std::uint64_t log_lines_emitted() {
+  MutexLock lock(g_sink_mu);
+  return g_lines;
+}
+
 void log_line(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
+  MutexLock lock(g_sink_mu);
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[%s] %.*s\n", level_tag(level),
                static_cast<int>(message.size()), message.data());
+  ++g_lines;
 }
 
 }  // namespace rr::util

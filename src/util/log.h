@@ -5,6 +5,8 @@
 // machine-readable.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -17,7 +19,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emits one formatted line ("[level] message") to stderr if enabled.
+/// Redirects log output (nullptr restores stderr). The sink is shared
+/// mutable state guarded by the logger's mutex; callers keep ownership of
+/// the stream and must not close it while a redirect is installed.
+void set_log_sink(std::FILE* sink);
+
+/// Lines actually emitted (post level filter) since process start. Meant
+/// for tests asserting hot paths stay silent.
+[[nodiscard]] std::uint64_t log_lines_emitted();
+
+/// Emits one formatted line ("[level] message") to the sink if enabled.
+/// Whole lines are serialized under the sink mutex, so concurrent
+/// harness threads never interleave mid-line.
 void log_line(LogLevel level, std::string_view message);
 
 namespace detail {

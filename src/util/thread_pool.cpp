@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -55,8 +55,11 @@ void ThreadPool::worker_loop() {
     const std::function<void(std::size_t)>* job = nullptr;
     std::size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      // Manual wait loop rather than the predicate overload: the guarded
+      // reads stay in this function, where the analysis sees the lock
+      // (a predicate lambda is analysed with an empty capability set).
+      CvLock lock(mu_);
+      while (!stop_ && generation_ == seen) work_cv_.wait(lock.native());
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -78,7 +81,7 @@ void ThreadPool::worker_loop() {
     if (done_here > 0 &&
         completed_.fetch_add(done_here, std::memory_order_acq_rel) +
                 done_here == n) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       done_cv_.notify_all();
     }
   }
@@ -94,7 +97,7 @@ void ThreadPool::parallel_for(std::size_t n,
   assert(n <= 0xffffffffu && "region too large for 32-bit claim index");
   std::uint64_t gen;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &fn;
     job_n_ = n;
     completed_.store(0, std::memory_order_relaxed);
@@ -114,9 +117,10 @@ void ThreadPool::parallel_for(std::size_t n,
     completed_.fetch_add(done_here, std::memory_order_acq_rel);
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock,
-                [&] { return completed_.load(std::memory_order_acquire) == n; });
+  CvLock lock(mu_);
+  while (completed_.load(std::memory_order_acquire) != n) {
+    done_cv_.wait(lock.native());
+  }
   job_ = nullptr;
 }
 

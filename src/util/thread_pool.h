@@ -14,9 +14,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace rr::util {
 
@@ -42,7 +44,8 @@ class ThreadPool {
   /// the pool; blocks until all indices are done. `fn` must be safe to
   /// call concurrently for distinct indices. Exceptions from `fn` must not
   /// escape (workers would terminate the process).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      RROPT_EXCLUDES(mu_);
 
  private:
   void worker_loop();
@@ -59,19 +62,24 @@ class ThreadPool {
   int threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  /// Guards the region descriptor below: which job is current, how many
+  /// indices it spans, and the region generation workers key their wakeups
+  /// on. claim_ and completed_ are lock-free and deliberately outside the
+  /// capability (their ordering story is the CAS protocol in claim_index).
+  Mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::uint64_t generation_ = 0;
+  const std::function<void(std::size_t)>* job_ RROPT_GUARDED_BY(mu_) =
+      nullptr;
+  std::size_t job_n_ RROPT_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ RROPT_GUARDED_BY(mu_) = 0;
   /// Generation (high 32 bits) | next unclaimed index (low 32 bits), in
   /// one atomic so a claim can atomically verify it targets the current
   /// region. Limits a single region to < 2^32 indices; generation reuse
   /// would need a worker to sleep through 2^32 regions.
   std::atomic<std::uint64_t> claim_{0};
   std::atomic<std::size_t> completed_{0};
-  bool stop_ = false;
+  bool stop_ RROPT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rr::util

@@ -1,0 +1,9 @@
+// bad: umbrella-include — the umbrella header is for external consumers;
+// from inside the library it is an include cycle by construction.
+#include "rropt.h"  // finding: umbrella-include
+
+namespace rr::measure {
+
+int fixture_marker() { return 42; }
+
+}  // namespace rr::measure

@@ -1,0 +1,16 @@
+// bad: no-wallclock — measurement code reading real time.
+#include <chrono>
+#include <ctime>
+
+namespace rr::measure {
+
+double now_seconds() {
+  const auto t = std::chrono::system_clock::now();  // finding: no-wallclock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long stamp() {
+  return time(nullptr);  // finding: no-wallclock (time())
+}
+
+}  // namespace rr::measure

@@ -1,0 +1,10 @@
+// bad: pragma-once — header with no include guard at all.
+#include <cstdint>
+
+namespace rr::pkt {
+
+struct FixtureHeader {
+  std::uint8_t version = 4;
+};
+
+}  // namespace rr::pkt

@@ -1,0 +1,26 @@
+// bad: no-hot-alloc — allocation inside a marked hot region without a
+// waiver. The same calls outside the region are fine.
+#include <memory>
+#include <vector>
+
+namespace rr::probe {
+
+std::vector<int> scratch;
+
+void setup() {
+  scratch.push_back(1);  // ok: outside any hot region
+}
+
+void probe_once(std::vector<int>& trace, int hop) {
+  // RROPT_HOT_BEGIN(fixture-probe)
+  trace.push_back(hop);             // finding: no-hot-alloc (push_back)
+  auto owned = std::make_unique<int>(hop);  // finding: no-hot-alloc
+  *owned += 1;
+  // RROPT_HOT_END(fixture-probe)
+}
+
+void teardown() {
+  scratch.push_back(2);  // ok: after the region closed
+}
+
+}  // namespace rr::probe

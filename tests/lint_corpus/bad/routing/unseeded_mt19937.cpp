@@ -1,0 +1,17 @@
+// bad: no-unseeded-rng — default-constructed engine seeds from a fixed
+// implementation-defined constant, silently decoupled from the run config.
+#include <random>
+
+namespace rr::route {
+
+int pick(int n) {
+  std::mt19937 gen;  // finding: no-unseeded-rng
+  return static_cast<int>(gen() % static_cast<unsigned>(n));
+}
+
+int pick_braced(int n) {
+  std::mt19937_64 gen{};  // finding: no-unseeded-rng
+  return static_cast<int>(gen() % static_cast<unsigned>(n));
+}
+
+}  // namespace rr::route

@@ -1,0 +1,17 @@
+// bad: raw-mutex — std::mutex outside util/ is invisible to the
+// thread-safety analysis; util::Mutex is the annotated wrapper.
+#include <mutex>
+
+namespace rr::sim {
+
+struct Shared {
+  std::mutex mu;  // finding: raw-mutex
+  int value = 0;
+};
+
+int bump(Shared& shared) {
+  std::lock_guard<std::mutex> lock{shared.mu};  // finding: raw-mutex
+  return ++shared.value;
+}
+
+}  // namespace rr::sim

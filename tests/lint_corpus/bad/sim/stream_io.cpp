@@ -1,0 +1,14 @@
+// bad: no-stream-io — both the include and the call sites are findings.
+#include <iostream>  // finding: no-stream-io
+
+namespace rr::sim {
+
+void debug_dump(int hops) {
+  std::cout << "hops=" << hops << "\n";  // finding: no-stream-io (cout)
+}
+
+void debug_dump_c(int hops) {
+  printf("hops=%d\n", hops);  // finding: no-stream-io (printf)
+}
+
+}  // namespace rr::sim

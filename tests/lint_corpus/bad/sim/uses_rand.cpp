@@ -1,0 +1,15 @@
+// bad: no-rand — libc randomness in the simulator.
+#include <cstdlib>
+
+namespace rr::sim {
+
+int jitter() {
+  return std::rand() % 7;  // finding: no-rand (std::rand)
+}
+
+unsigned seed_from_hardware() {
+  std::random_device rd;  // finding: no-rand (random_device)
+  return rd();
+}
+
+}  // namespace rr::sim

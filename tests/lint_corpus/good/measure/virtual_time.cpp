@@ -1,0 +1,22 @@
+// good: false-positive guard for no-wallclock. Variables and members may
+// be *named* time; only the call `time(...)` and the clock types are
+// findings. Strings and comments never trip rules: "std::rand()" is fine
+// here, and so is this mention of system_clock.
+#include <string>
+
+namespace rr::measure {
+
+struct Sample {
+  double time = 0.0;  // a member named `time`: clean
+};
+
+double shift(const Sample& sample, double dt) {
+  const double time = sample.time + dt;  // reads via `.time`: clean
+  return time;
+}
+
+std::string describe() {
+  return "virtual time only; no system_clock here";  // literal: clean
+}
+
+}  // namespace rr::measure

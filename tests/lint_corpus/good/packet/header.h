@@ -1,0 +1,15 @@
+// good: a header that follows the include hygiene rules — #pragma once
+// present, no umbrella include, no stream IO.
+#pragma once
+
+#include <cstdint>
+
+namespace rr::pkt {
+
+struct FixtureOption {
+  std::uint8_t kind = 7;
+  std::uint8_t length = 3;
+  std::uint8_t pointer = 4;
+};
+
+}  // namespace rr::pkt

@@ -1,0 +1,17 @@
+// good: allocation inside a hot region is clean when the line carries an
+// RROPT_HOT_OK waiver explaining why the steady state does not allocate.
+#include <vector>
+
+namespace rr::probe {
+
+void probe_once(std::vector<int>& trace, int hop) {
+  // RROPT_HOT_BEGIN(fixture-probe)
+  trace.push_back(hop);  // RROPT_HOT_OK: capacity recycled across probes
+  // RROPT_HOT_END(fixture-probe)
+}
+
+void after(std::vector<int>& trace) {
+  trace.push_back(0);  // outside the region: clean without a waiver
+}
+
+}  // namespace rr::probe

@@ -1,0 +1,18 @@
+// good: engines with explicit, config-derived seeds pass no-unseeded-rng;
+// counter-based draws are the house style and mention no banned names.
+#include <cstdint>
+#include <random>
+
+namespace rr::sim {
+
+std::uint32_t draw(std::uint64_t run_seed, std::uint64_t counter) {
+  std::mt19937_64 gen{run_seed ^ counter};  // seeded: clean
+  return static_cast<std::uint32_t>(gen());
+}
+
+std::uint32_t draw_paren(std::uint64_t run_seed) {
+  std::mt19937 gen(static_cast<std::uint32_t>(run_seed));  // seeded: clean
+  return gen();
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,15 @@
+// good: any rule can be waived in place with `rropt-lint: allow(<rule>)`
+// on the offending line — the escape hatch for the rare justified use.
+#include <cstdlib>
+
+namespace rr::sim {
+
+int fixture_entropy() {
+  return std::rand();  // rropt-lint: allow(no-rand) — fixture exercises waiver
+}
+
+long fixture_stamp() {
+  return time(nullptr);  // rropt-lint: allow(no-wallclock)
+}
+
+}  // namespace rr::sim

@@ -1,0 +1,17 @@
+// good: util/ is the one place raw std::mutex may live — util::Mutex
+// itself wraps one, and the CvLock bridge hands std::unique_lock to
+// condition variables.
+#include <mutex>
+
+namespace rr::util {
+
+struct FixtureWrapper {
+  std::mutex mu;  // allowed: we are under util/
+};
+
+int locked_read(FixtureWrapper& wrapper, const int& value) {
+  std::lock_guard<std::mutex> lock{wrapper.mu};
+  return value;
+}
+
+}  // namespace rr::util

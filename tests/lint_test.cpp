@@ -1,0 +1,214 @@
+// Tests for tools/lint (rropt_lint): unit tests on snippets, then the
+// fixture corpus — every file under lint_corpus/bad/ must trip its rule
+// and every file under lint_corpus/good/ must come back clean.
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rr::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::set<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const auto& finding : findings) rules.insert(finding.rule);
+  return rules;
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(LintRules, FlagsRandInSim) {
+  const auto findings =
+      lint_file("src/sim/x.cpp", "int f() { return std::rand(); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-rand");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintRules, RandScopeIsPathBased) {
+  // Same content, non-deterministic subsystem: clean.
+  const auto findings =
+      lint_file("src/analysis/x.cpp", "int f() { return std::rand(); }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, MemberNamedRandIsClean) {
+  const auto findings = lint_file(
+      "src/sim/x.cpp", "int f(const Cfg& c) { return c.rand + c->random; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, TimeCallFlaggedButTimeVariableClean) {
+  EXPECT_EQ(rules_of(lint_file("src/measure/x.cpp",
+                               "long f() { return time(nullptr); }\n")),
+            (std::set<std::string>{"no-wallclock"}));
+  EXPECT_EQ(rules_of(lint_file("src/measure/x.cpp",
+                               "long f() { return std::time(nullptr); }\n")),
+            (std::set<std::string>{"no-wallclock"}));
+  EXPECT_TRUE(lint_file("src/measure/x.cpp",
+                        "double f(S s) { double time = s.time; return time; }\n")
+                  .empty());
+}
+
+TEST(LintRules, UnseededEngineHeuristic) {
+  EXPECT_EQ(rules_of(lint_file("src/routing/x.cpp", "std::mt19937 g;\n")),
+            (std::set<std::string>{"no-unseeded-rng"}));
+  EXPECT_EQ(rules_of(lint_file("src/routing/x.cpp", "std::mt19937 g{};\n")),
+            (std::set<std::string>{"no-unseeded-rng"}));
+  EXPECT_TRUE(
+      lint_file("src/routing/x.cpp", "std::mt19937 g{seed};\n").empty());
+  EXPECT_TRUE(
+      lint_file("src/routing/x.cpp", "std::mt19937 g(seed ^ k);\n").empty());
+}
+
+TEST(LintRules, CommentsAndStringsNeverTrip) {
+  const auto findings = lint_file(
+      "src/sim/x.cpp",
+      "// std::rand() in a comment\n"
+      "/* system_clock in a block comment */\n"
+      "const char* s = \"rand() time( mt19937 std::cout\";\n"
+      "const char* r = R\"(std::random_device)\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, StreamIoIncludeAndCallsite) {
+  const auto findings = lint_file("src/packet/x.cpp",
+                                  "#include <iostream>\n"
+                                  "void f() { std::cout << 1; }\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "no-stream-io");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].rule, "no-stream-io");
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+TEST(LintRules, StreamIoAllowedOutsideHotSubsystems) {
+  EXPECT_TRUE(lint_file("src/data/x.cpp",
+                        "#include <iostream>\nvoid f() { std::cout << 1; }\n")
+                  .empty());
+}
+
+TEST(LintRules, HotRegionAllocAndWaiver) {
+  const std::string hot =
+      "void f(std::vector<int>& v) {\n"
+      "  // RROPT_HOT_BEGIN(x)\n"
+      "  v.push_back(1);\n"
+      "  // RROPT_HOT_END(x)\n"
+      "  v.push_back(2);\n"
+      "}\n";
+  const auto findings = lint_file("src/probe/x.cpp", hot);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-hot-alloc");
+  EXPECT_EQ(findings[0].line, 3);
+
+  const std::string waived =
+      "void f(std::vector<int>& v) {\n"
+      "  // RROPT_HOT_BEGIN(x)\n"
+      "  v.push_back(1);  // RROPT_HOT_OK: capacity recycled\n"
+      "  // RROPT_HOT_END(x)\n"
+      "}\n";
+  EXPECT_TRUE(lint_file("src/probe/x.cpp", waived).empty());
+}
+
+TEST(LintRules, RawMutexOutsideUtil) {
+  EXPECT_EQ(
+      rules_of(lint_file("src/routing/x.h",
+                         "#pragma once\nstruct S { std::mutex mu; };\n")),
+      (std::set<std::string>{"raw-mutex"}));
+  EXPECT_TRUE(lint_file("src/util/x.h",
+                        "#pragma once\nstruct S { std::mutex mu; };\n")
+                  .empty());
+}
+
+TEST(LintRules, UmbrellaIncludeAndSelfExemption) {
+  EXPECT_EQ(rules_of(lint_file("src/measure/x.cpp", "#include \"rropt.h\"\n")),
+            (std::set<std::string>{"umbrella-include"}));
+  // The umbrella header itself may do whatever it likes with its own name.
+  EXPECT_TRUE(
+      lint_file("src/rropt.h", "#pragma once\n#include \"packet/rr.h\"\n")
+          .empty());
+}
+
+TEST(LintRules, PragmaOnce) {
+  EXPECT_EQ(rules_of(lint_file("src/packet/x.h", "struct S {};\n")),
+            (std::set<std::string>{"pragma-once"}));
+  EXPECT_TRUE(lint_file("src/packet/x.h", "#pragma once\nstruct S {};\n")
+                  .empty());
+  // .cpp files are exempt from the header rule.
+  EXPECT_TRUE(lint_file("src/packet/x.cpp", "struct S {};\n").empty());
+}
+
+TEST(LintRules, AllowCommentWaivesExactRuleOnly) {
+  EXPECT_TRUE(lint_file("src/sim/x.cpp",
+                        "int f() { return std::rand(); }  "
+                        "// rropt-lint: allow(no-rand)\n")
+                  .empty());
+  // Waiving a different rule does not help.
+  EXPECT_FALSE(lint_file("src/sim/x.cpp",
+                         "int f() { return std::rand(); }  "
+                         "// rropt-lint: allow(no-wallclock)\n")
+                   .empty());
+}
+
+TEST(LintFormat, CompilerStyle) {
+  const Finding finding{"src/sim/x.cpp", 12, "no-rand", "msg"};
+  EXPECT_EQ(format(finding), "src/sim/x.cpp:12: [no-rand] msg");
+}
+
+TEST(LintRules, EveryRuleHasADescription) {
+  const auto descriptions = rule_descriptions();
+  EXPECT_EQ(descriptions.size(), 8u);
+}
+
+// --------------------------------------------------------------- corpus
+
+std::vector<std::string> corpus_files(const std::string& subdir) {
+  std::vector<std::string> files;
+  const fs::path root = fs::path{RROPT_LINT_CORPUS_DIR} / subdir;
+  for (const auto& entry : fs::recursive_directory_iterator{root}) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(LintCorpus, EveryBadFixtureFails) {
+  const auto files = corpus_files("bad");
+  ASSERT_GE(files.size(), 8u) << "bad corpus went missing";
+  for (const auto& file : files) {
+    const auto findings = lint_paths({file});
+    EXPECT_FALSE(findings.empty()) << file << " should trip its rule";
+  }
+}
+
+TEST(LintCorpus, EveryGoodFixtureIsClean) {
+  const auto files = corpus_files("good");
+  ASSERT_GE(files.size(), 6u) << "good corpus went missing";
+  for (const auto& file : files) {
+    const auto findings = lint_paths({file});
+    for (const auto& finding : findings) {
+      ADD_FAILURE() << "unexpected finding: " << format(finding);
+    }
+  }
+}
+
+TEST(LintCorpus, BadCorpusCoversEveryRule) {
+  const auto findings = lint_paths({(fs::path{RROPT_LINT_CORPUS_DIR} / "bad")
+                                        .string()});
+  const auto rules = rules_of(findings);
+  for (const char* rule :
+       {"no-rand", "no-wallclock", "no-unseeded-rng", "no-stream-io",
+        "no-hot-alloc", "raw-mutex", "umbrella-include", "pragma-once"}) {
+    EXPECT_TRUE(rules.count(rule) > 0) << "no bad fixture trips " << rule;
+  }
+}
+
+}  // namespace
+}  // namespace rr::lint

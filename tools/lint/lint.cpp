@@ -1,0 +1,551 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rr::lint {
+
+namespace {
+
+// ---------------------------------------------------------------- lexing
+
+/// One significant token: an identifier/number, or a single punctuation
+/// character. Comments and literals never become tokens, but comment text
+/// is scanned for the lint directives before being dropped.
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+/// Per-line directive state gathered from comments.
+struct LineDirectives {
+  std::unordered_map<int, std::set<std::string>> allows;  // rropt-lint: allow
+  std::unordered_set<int> hot_ok;                         // RROPT_HOT_OK
+  std::unordered_set<int> hot_begin;                      // RROPT_HOT_BEGIN
+  std::unordered_set<int> hot_end;                        // RROPT_HOT_END
+};
+
+struct Include {
+  std::string target;  // between the quotes/brackets
+  int line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  LineDirectives directives;
+  std::vector<Include> includes;
+  bool has_pragma_once = false;
+  int last_line = 1;
+};
+
+void scan_comment(std::string_view comment, int line, LineDirectives& out) {
+  if (comment.find("RROPT_HOT_BEGIN") != std::string_view::npos) {
+    out.hot_begin.insert(line);
+  }
+  if (comment.find("RROPT_HOT_END") != std::string_view::npos) {
+    out.hot_end.insert(line);
+  }
+  if (comment.find("RROPT_HOT_OK") != std::string_view::npos) {
+    out.hot_ok.insert(line);
+  }
+  // rropt-lint: allow(rule-a, rule-b)
+  const auto at = comment.find("rropt-lint:");
+  if (at == std::string_view::npos) return;
+  const auto open = comment.find('(', at);
+  const auto close = comment.find(')', at);
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return;
+  }
+  std::string rule;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      if (!rule.empty()) out.allows[line].insert(rule);
+      rule.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      rule.push_back(c);
+    }
+  }
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  auto advance_newline = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    // Preprocessor directives (collect includes / pragma once, then skip
+    // the directive name token so "include" never reaches the rules).
+    if (at_line_start && c == '#') {
+      std::size_t j = i;
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t end = eol == std::string_view::npos ? n : eol;
+      std::string_view directive = src.substr(j, end - j);
+      if (directive.find("pragma") != std::string_view::npos &&
+          directive.find("once") != std::string_view::npos) {
+        out.has_pragma_once = true;
+      }
+      const auto inc = directive.find("include");
+      if (inc != std::string_view::npos) {
+        std::size_t k = inc + 7;
+        while (k < directive.size() &&
+               std::isspace(static_cast<unsigned char>(directive[k]))) {
+          ++k;
+        }
+        if (k < directive.size() &&
+            (directive[k] == '"' || directive[k] == '<')) {
+          const char closer = directive[k] == '"' ? '"' : '>';
+          const auto stop = directive.find(closer, k + 1);
+          if (stop != std::string_view::npos) {
+            out.includes.push_back(
+                {std::string{directive.substr(k + 1, stop - k - 1)}, line});
+          }
+        }
+      }
+      // A directive can still carry a trailing comment with directives.
+      const auto slashes = directive.find("//");
+      if (slashes != std::string_view::npos) {
+        scan_comment(directive.substr(slashes), line, out.directives);
+      }
+      // Respect line continuations inside the directive.
+      i = end;
+      continue;  // the '\n' (if any) is consumed by the generic path below
+    }
+
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t end = eol == std::string_view::npos ? n : eol;
+      scan_comment(src.substr(i, end - i), line, out.directives);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t close = src.find("*/", i + 2);
+      const std::size_t end = close == std::string_view::npos ? n : close + 2;
+      // Block comments may span lines; scan each line for directives.
+      std::size_t start = i;
+      int comment_line = line;
+      for (std::size_t k = i; k < end; ++k) {
+        if (src[k] == '\n' || k + 1 == end) {
+          scan_comment(src.substr(start, k + 1 - start), comment_line,
+                       out.directives);
+          start = k + 1;
+          if (src[k] == '\n') {
+            ++line;
+            comment_line = line;
+          }
+        }
+      }
+      i = end;
+      at_line_start = false;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+        (out.tokens.empty() || !ident_char(src[i - 1]))) {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && delim.size() < 16) {
+        delim.push_back(src[j++]);
+      }
+      const std::string closer = ")" + delim + "\"";
+      const auto stop = src.find(closer, j);
+      const std::size_t end =
+          stop == std::string_view::npos ? n : stop + closer.size();
+      for (std::size_t k = i; k < end; ++k) advance_newline(src[k]);
+      i = end;
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        advance_newline(src[j]);
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      at_line_start = false;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Consume the whole numeric literal including 1'000 separators and
+      // suffixes, so embedded quotes never open a char literal.
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       src[j] == '\'')) {
+        ++j;
+      }
+      out.tokens.push_back({std::string{src.substr(i, j - i)}, line, false});
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back({std::string{src.substr(i, j - i)}, line, true});
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // NB: parens, not braces — std::string{1, c} would pick the
+    // initializer_list<char> constructor and mint a two-char token.
+    out.tokens.push_back({std::string(1, c), line, false});
+    ++i;
+    at_line_start = false;
+  }
+  out.last_line = line;
+  return out;
+}
+
+// ------------------------------------------------------------- rule scope
+
+struct Scope {
+  bool determinism = false;  // sim/, measure/, routing/
+  bool hot_io = false;       // + packet/, probe/, netbase/
+  bool util = false;         // util/ may hold raw std::mutex
+  bool header = false;       // *.h / *.hpp
+  bool umbrella = false;     // the umbrella header itself
+};
+
+Scope classify(const std::string& path) {
+  Scope scope;
+  std::filesystem::path p{path};
+  for (const auto& part : p) {
+    const std::string name = part.string();
+    if (name == "sim" || name == "measure" || name == "routing") {
+      scope.determinism = true;
+      scope.hot_io = true;
+    }
+    if (name == "packet" || name == "probe" || name == "netbase") {
+      scope.hot_io = true;
+    }
+    if (name == "util") scope.util = true;
+  }
+  const std::string ext = p.extension().string();
+  scope.header = ext == ".h" || ext == ".hpp";
+  scope.umbrella = p.filename() == "rropt.h";
+  return scope;
+}
+
+// ---------------------------------------------------------------- checks
+
+class Checker {
+ public:
+  Checker(const std::string& path, const LexedFile& lexed)
+      : path_(path), scope_(classify(path)), lexed_(lexed) {}
+
+  std::vector<Finding> run() {
+    check_includes();
+    check_pragma_once();
+    check_tokens();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line < b.line;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void report(int line, const char* rule, std::string message) {
+    const auto it = lexed_.directives.allows.find(line);
+    if (it != lexed_.directives.allows.end() && it->second.count(rule) > 0) {
+      return;  // waived in place
+    }
+    findings_.push_back({path_, line, rule, std::move(message)});
+  }
+
+  void check_includes() {
+    for (const Include& inc : lexed_.includes) {
+      if (!scope_.umbrella && inc.target == "rropt.h") {
+        report(inc.line, "umbrella-include",
+               "including the umbrella header \"rropt.h\" from inside the "
+               "library creates an include cycle; include the specific "
+               "subsystem headers instead");
+      }
+      if (scope_.hot_io && !scope_.util &&
+          (inc.target == "iostream" || inc.target == "ostream" ||
+           inc.target == "istream")) {
+        report(inc.line, "no-stream-io",
+               "<" + inc.target + "> is banned in hot-path subsystems; "
+               "drivers log through util/log.h");
+      }
+    }
+  }
+
+  void check_pragma_once() {
+    if (scope_.header && !lexed_.has_pragma_once) {
+      report(1, "pragma-once", "header is missing #pragma once");
+    }
+  }
+
+  [[nodiscard]] bool member_access_before(std::size_t i) const {
+    if (i == 0) return false;
+    const std::string& prev = lexed_.tokens[i - 1].text;
+    if (prev == "." || prev == ":") return true;  // ":" covers "::"
+    if (prev == ">" && i >= 2 && lexed_.tokens[i - 2].text == "-") {
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool call_follows(std::size_t i) const {
+    return i + 1 < lexed_.tokens.size() && lexed_.tokens[i + 1].text == "(";
+  }
+
+  [[nodiscard]] bool std_qualified(std::size_t i) const {
+    return i >= 2 && lexed_.tokens[i - 1].text == ":" &&
+           lexed_.tokens[i - 2].text == ":" &&
+           (i < 3 || lexed_.tokens[i - 3].text == "std");
+  }
+
+  void check_tokens() {
+    // Hot-region tracking: lines strictly between a BEGIN marker line and
+    // the matching END marker line are hot.
+    bool hot = false;
+    int current_line = 0;
+    auto update_hot = [&](int line) {
+      while (current_line < line) {
+        ++current_line;
+        if (lexed_.directives.hot_end.count(current_line) > 0) hot = false;
+        if (lexed_.directives.hot_begin.count(current_line) > 0) hot = true;
+      }
+    };
+
+    static const std::unordered_set<std::string> kRandIdents{
+        "rand", "srand", "random", "drand48", "lrand48", "random_device",
+        "random_shuffle"};
+    static const std::unordered_set<std::string> kWallClockIdents{
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime", "timespec_get", "localtime",
+        "gmtime"};
+    static const std::unordered_set<std::string> kEngines{
+        "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+        "default_random_engine", "ranlux24", "ranlux48", "knuth_b"};
+    static const std::unordered_set<std::string> kStreamIo{
+        "printf", "fprintf", "vprintf", "vfprintf", "puts", "putchar",
+        "cout", "cerr", "clog"};
+    static const std::unordered_set<std::string> kHotAlloc{
+        "new",       "make_unique",  "make_shared", "malloc", "calloc",
+        "realloc",   "push_back",    "emplace_back"};
+    static const std::unordered_set<std::string> kMutexTypes{
+        "mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex",
+        "shared_mutex", "shared_timed_mutex"};
+
+    const auto& tokens = lexed_.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& tok = tokens[i];
+      if (!tok.is_ident) continue;
+      update_hot(tok.line);
+
+      if (scope_.determinism) {
+        if (kRandIdents.count(tok.text) > 0 && !member_access_excludes(i)) {
+          report(tok.line, "no-rand",
+                 "'" + tok.text + "' is a nondeterminism source; use "
+                 "counter-based draws via util::Rng / util::mix64");
+        }
+        if (kWallClockIdents.count(tok.text) > 0) {
+          report(tok.line, "no-wallclock",
+                 "'" + tok.text + "' reads the wall clock; simulator and "
+                 "measurement time is virtual (probe schedule)");
+        }
+        if (tok.text == "time" && call_follows(i) &&
+            !member_access_excludes(i)) {
+          report(tok.line, "no-wallclock",
+                 "'time(...)' reads the wall clock; simulator and "
+                 "measurement time is virtual (probe schedule)");
+        }
+        if (kEngines.count(tok.text) > 0 && unseeded_engine(i)) {
+          report(tok.line, "no-unseeded-rng",
+                 "'" + tok.text + "' is default-constructed; seeds must be "
+                 "explicit and derived from the run config");
+        }
+      }
+
+      if (scope_.hot_io && !scope_.util && kStreamIo.count(tok.text) > 0 &&
+          !member_access_excludes(i)) {
+        report(tok.line, "no-stream-io",
+               "'" + tok.text + "' in a hot-path subsystem; drivers log "
+               "through util/log.h");
+      }
+
+      if (hot && kHotAlloc.count(tok.text) > 0 &&
+          lexed_.directives.hot_ok.count(tok.line) == 0) {
+        report(tok.line, "no-hot-alloc",
+               "'" + tok.text + "' allocates inside an RROPT_HOT region; "
+               "preallocate, or waive the line with '// RROPT_HOT_OK: "
+               "<why this is steady-state-free>'");
+      }
+
+      if (!scope_.util && kMutexTypes.count(tok.text) > 0 &&
+          std_qualified(i)) {
+        report(tok.line, "raw-mutex",
+               "raw std::" + tok.text + " outside util/; use util::Mutex "
+               "(util/mutex.h) so the thread-safety analysis sees the "
+               "locks");
+      }
+    }
+  }
+
+  /// `foo.rand` / `foo->random` are member accesses of unrelated types;
+  /// `std::rand` must still be flagged.
+  [[nodiscard]] bool member_access_excludes(std::size_t i) const {
+    if (!member_access_before(i)) return false;
+    return !std_qualified(i);
+  }
+
+  /// True when the engine at token i is declared without a seed:
+  /// `mt19937 gen;` or `mt19937 gen{};` or `mt19937 gen();`.
+  [[nodiscard]] bool unseeded_engine(std::size_t i) const {
+    const auto& tokens = lexed_.tokens;
+    std::size_t j = i + 1;
+    // Skip template arguments of e.g. independent_bits_engine uses.
+    if (j < tokens.size() && tokens[j].text == "<") {
+      int depth = 1;
+      ++j;
+      while (j < tokens.size() && depth > 0) {
+        if (tokens[j].text == "<") ++depth;
+        if (tokens[j].text == ">") --depth;
+        ++j;
+      }
+    }
+    // Variable name (skip qualifiers the declaration may carry).
+    while (j < tokens.size() && tokens[j].is_ident) ++j;
+    if (j >= tokens.size()) return false;
+    const std::string& after = tokens[j].text;
+    if (after == ";") return true;  // `mt19937 gen;`
+    if (after == "(" || after == "{") {
+      const std::string closer = after == "(" ? ")" : "}";
+      return j + 1 < tokens.size() && tokens[j + 1].text == closer;
+    }
+    return false;
+  }
+
+  std::string path_;
+  Scope scope_;
+  const LexedFile& lexed_;
+  std::vector<Finding> findings_;
+};
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+}  // namespace
+
+std::string format(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view content) {
+  const LexedFile lexed = lex(content);
+  return Checker{path, lexed}.run();
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::vector<Finding> findings;
+  for (const auto& root : paths) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it{root, ec}, end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file(ec) && lintable_extension(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      findings.push_back({root, 0, "io", "path does not exist"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    if (!in) {
+      findings.push_back({file, 0, "io", "unreadable file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    auto file_findings = lint_file(file, content);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::vector<std::string> rule_descriptions() {
+  return {
+      "no-rand — rand()/random_device & friends banned in sim/, measure/, "
+      "routing/ (randomness is counter-based via util::Rng)",
+      "no-wallclock — time()/system_clock/... banned in sim/, measure/, "
+      "routing/ (time is virtual, from the probe schedule)",
+      "no-unseeded-rng — default-constructed std engines banned in sim/, "
+      "measure/, routing/ (seeds are explicit, config-derived)",
+      "no-stream-io — <iostream>/printf/cout banned in packet/, sim/, "
+      "probe/, netbase/, routing/, measure/",
+      "no-hot-alloc — allocation keywords banned between RROPT_HOT_BEGIN "
+      "and RROPT_HOT_END unless waived with RROPT_HOT_OK",
+      "raw-mutex — std::mutex members only under util/ (use util::Mutex "
+      "so Clang TSA sees the locks)",
+      "umbrella-include — \"rropt.h\" must not be included from inside "
+      "the library (include cycle)",
+      "pragma-once — every header must carry #pragma once",
+  };
+}
+
+}  // namespace rr::lint

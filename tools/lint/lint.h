@@ -1,0 +1,73 @@
+// rropt_lint: a repo-invariant static checker (tokenizer-level, no
+// libclang dependency).
+//
+// Clang Thread Safety Analysis (src/util/annotations.h) proves the lock
+// discipline; this linter enforces the *repo-specific* invariants that no
+// general-purpose tool knows about — the determinism contract and the
+// hot-path allocation budget the paper reproduction depends on:
+//
+//   no-rand           sim|measure|routing   rand()/random_device & friends
+//                                           banned — all randomness must be
+//                                           counter-based via util::Rng
+//   no-wallclock      sim|measure|routing   time()/system_clock/... banned —
+//                                           time is virtual, from the probe
+//                                           schedule
+//   no-unseeded-rng   sim|measure|routing   default-constructed std engines
+//                                           (mt19937 m;) banned — seeds must
+//                                           be explicit and config-derived
+//   no-stream-io      packet|sim|probe|     <iostream>/printf/cout banned in
+//                     netbase|routing|      hot-path subsystems; logging goes
+//                     measure               through util::log in drivers only
+//   no-hot-alloc      RROPT_HOT_BEGIN/END   heap-allocating calls (new,
+//                     regions               make_unique, push_back, ...)
+//                                           banned inside marked hot regions
+//                                           unless the line carries an
+//                                           RROPT_HOT_OK waiver
+//   raw-mutex         everywhere but util/  std::mutex members banned — use
+//                                           util::Mutex so the thread-safety
+//                                           analysis can see the locks
+//   umbrella-include  src tree              including "rropt.h" from inside
+//                                           the library is a cycle by
+//                                           construction
+//   pragma-once       headers               every .h starts its include
+//                                           story with #pragma once
+//
+// Any single finding can be waived with a same-line comment
+// `// rropt-lint: allow(<rule>)`; hot-region allocations use
+// `// RROPT_HOT_OK: <reason>` instead. Rule scoping keys on path
+// *components* (".../sim/...") so the fixture corpus under
+// tests/lint_corpus/{good,bad}/<subsystem>/ exercises the same scoping as
+// the real tree.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rr::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: [rule] message" — the compiler-style shape editors parse.
+[[nodiscard]] std::string format(const Finding& finding);
+
+/// Lints one file's contents. `path` is used for reporting and for rule
+/// scoping (its directory components select subsystem rules).
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
+                                             std::string_view content);
+
+/// Lints every .h/.hpp/.cpp/.cc under the given files/directories
+/// (recursively), in sorted path order. Unreadable paths produce a
+/// finding rather than a crash.
+[[nodiscard]] std::vector<Finding> lint_paths(
+    const std::vector<std::string>& paths);
+
+/// One line per rule: "name — description" (for --list-rules).
+[[nodiscard]] std::vector<std::string> rule_descriptions();
+
+}  // namespace rr::lint

@@ -1,0 +1,49 @@
+// rropt_lint CLI: `rropt_lint <path>...` lints every .h/.hpp/.cpp/.cc
+// under the given files/directories and prints compiler-style findings.
+// Exit 0 = clean, 1 = findings, 2 = usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : rr::lint::rule_descriptions()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: rropt_lint [--list-rules] <file-or-dir>...\n"
+          "Checks rropt repo invariants (determinism, hot-path allocation,\n"
+          "lock-wrapper and include hygiene). See tools/lint/lint.h for the\n"
+          "rule table and waiver syntax.\n");
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rropt_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: rropt_lint [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+
+  const auto findings = rr::lint::lint_paths(paths);
+  for (const auto& finding : findings) {
+    std::printf("%s\n", rr::lint::format(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "rropt_lint: %zu finding%s\n", findings.size(),
+                 findings.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
