@@ -18,12 +18,35 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "util/thread_pool.h"
+
 namespace rr::bench {
+
+/// Peak resident set (VmHWM) of this process in MiB, from
+/// /proc/self/status; 0 if unavailable (non-Linux). Recorded by every
+/// bench's telemetry so memory regressions gate exactly like time
+/// regressions (scripts/check_bench_regression.sh).
+inline double peak_rss_mib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kib = 0.0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtod(line + 6, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib / 1024.0;
+}
 
 class Telemetry {
  public:
@@ -55,10 +78,21 @@ class Telemetry {
   }
 
   /// Closes the last phase and writes BENCH_<name>.json. Idempotent.
+  /// Every bench gets a "threads" and "peak_rss_mib" value whether or not
+  /// it recorded one itself, so the telemetry schema is uniform across
+  /// the bench suite (benches with a testbed overwrite "threads" with the
+  /// testbed's resolved count via record_world; the default below is the
+  /// same resolution rule).
   void finish() {
     if (written_) return;
     written_ = true;
     close_phase();
+    if (!has_value("threads")) {
+      value("threads", util::resolve_thread_count(0));
+    }
+    if (!has_value("peak_rss_mib")) {
+      value("peak_rss_mib", peak_rss_mib());
+    }
     const double total = seconds_since(start_);
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -112,6 +146,13 @@ class Telemetry {
     if (current_.empty()) return;
     phases_.emplace_back(current_, seconds_since(phase_start_));
     current_.clear();
+  }
+
+  [[nodiscard]] bool has_value(const std::string& key) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return true;
+    }
+    return false;
   }
 
   std::string name_;

@@ -18,8 +18,23 @@ for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
 
 # Collect the machine-readable telemetry the benches wrote alongside the
 # textual log (one BENCH_<name>.json per bench binary), then consolidate
-# it into a single BENCH_all.json keyed by bench name.
+# it into a single BENCH_all.json keyed by bench name. Every bench's JSON
+# uniformly carries "threads" and "peak_rss_mib" (bench/telemetry.h
+# records them at finish() whether or not the bench did), so the summary
+# below — and any diff of BENCH_all.json across runs — can compare memory
+# and parallelism per bench, not just wall-clock.
 mkdir -p bench_telemetry
 mv -f BENCH_*.json bench_telemetry/ 2>/dev/null || true
 scripts/collect_bench_telemetry.sh bench_telemetry
 echo "telemetry: $(ls bench_telemetry 2>/dev/null | wc -l) files in bench_telemetry/"
+echo
+printf '%-16s %12s %8s %14s\n' bench total_seconds threads peak_rss_mib
+for f in bench_telemetry/BENCH_*.json; do
+  [[ "$f" == */BENCH_all.json ]] && continue
+  name=${f##*/BENCH_}; name=${name%.json}
+  total=$(sed -n 's/.*"total_seconds": *\([0-9.eE+-]*\).*/\1/p' "$f" | head -n1)
+  threads=$(sed -n 's/.*"threads": *\([0-9]*\).*/\1/p' "$f" | head -n1)
+  rss=$(sed -n 's/.*"peak_rss_mib": *\([0-9.eE+-]*\).*/\1/p' "$f" | head -n1)
+  printf '%-16s %12s %8s %14s\n' "$name" "${total:--}" "${threads:--}" \
+    "${rss:--}"
+done

@@ -1,5 +1,6 @@
 #include "data/dataset.h"
 
+#include <array>
 #include <fstream>
 #include <unordered_map>
 
@@ -26,10 +27,100 @@ std::optional<std::string> read_string(net::ByteReader& in) {
                      bytes.size()};
 }
 
+/// Streams the serialized body (everything before the pad + trailing
+/// checksum) to `sink` in bounded chunks, so hashing or writing a
+/// census-scale dataset (~300 MB of observations) never materializes the
+/// full byte buffer. serialize() runs on the same emitter, so the stream
+/// is the format by construction — the two cannot drift.
+template <typename Sink>
+void emit_body(const CampaignDataset& dataset, Sink&& sink) {
+  constexpr std::size_t kFlushBytes = std::size_t{1} << 16;
+  net::ByteWriter out{kFlushBytes + 512};
+  const auto flush = [&] {
+    sink(out.view());
+    out.clear();
+  };
+  out.u32(CampaignDataset::kMagic);
+  out.u16(CampaignDataset::kVersion);
+  write_string(out, dataset.description);
+  out.u32(static_cast<std::uint32_t>(dataset.vps.size()));
+  out.u32(static_cast<std::uint32_t>(dataset.destinations.size()));
+  for (const auto& vp : dataset.vps) {
+    write_string(out, vp.site);
+    out.u8(vp.platform);
+    if (out.size() >= kFlushBytes) flush();
+  }
+  for (const auto& dest : dataset.destinations) {
+    out.u32(dest.address);
+    out.u32(dest.asn);
+    out.u8(dest.as_type);
+    out.u8(dest.ping_responsive);
+    if (out.size() >= kFlushBytes) flush();
+  }
+  for (const auto& obs : dataset.observations) {
+    out.u8(obs.flags);
+    out.u8(obs.stamp_count);
+    out.u8(obs.dest_slot);
+    out.u8(obs.free_slots);
+    if (out.size() >= kFlushBytes) flush();
+  }
+  flush();
+}
+
+/// Accumulates the streamed body's running RFC 1071 checksum (chunks may
+/// end on an odd byte, so the dangling byte carries to the next chunk) and
+/// total length — enough to reproduce serialize()'s pad + checksum trailer
+/// without the buffer.
+struct TrailerState {
+  std::uint32_t partial = 0;
+  std::size_t size = 0;
+  bool half_word = false;
+  std::uint8_t dangling = 0;
+
+  void feed(std::span<const std::uint8_t> chunk) {
+    size += chunk.size();
+    if (half_word && !chunk.empty()) {
+      partial += (std::uint32_t{dangling} << 8) | chunk.front();
+      chunk = chunk.subspan(1);
+      half_word = false;
+    }
+    if (chunk.size() % 2 != 0) {
+      dangling = chunk.back();
+      half_word = true;
+      chunk = chunk.first(chunk.size() - 1);
+    }
+    partial = net::checksum_partial(chunk, partial);
+  }
+
+  /// Pad byte (if the body length is odd) followed by the wire checksum,
+  /// exactly the bytes serialize() appends.
+  [[nodiscard]] std::array<std::uint8_t, 3> trailer() const {
+    TrailerState padded = *this;
+    std::size_t n = 0;
+    std::array<std::uint8_t, 3> bytes{};
+    if (padded.size % 2 != 0) {
+      const std::uint8_t zero = 0;
+      padded.feed({&zero, 1});
+      bytes[n++] = 0;
+    }
+    const std::uint16_t sum = net::checksum_finish(padded.partial);
+    bytes[n++] = static_cast<std::uint8_t>(sum >> 8);
+    bytes[n] = static_cast<std::uint8_t>(sum);
+    return bytes;
+  }
+
+  [[nodiscard]] std::size_t trailer_size() const noexcept {
+    return size % 2 != 0 ? 3 : 2;
+  }
+};
+
 }  // namespace
 
-CampaignDataset CampaignDataset::from_campaign(
-    const measure::Campaign& campaign, std::string description) {
+namespace {
+
+/// Everything from_campaign copies except the observation matrix.
+CampaignDataset freeze_metadata(const measure::Campaign& campaign,
+                                std::string description) {
   CampaignDataset dataset;
   dataset.description = std::move(description);
   const auto& topology = campaign.topology();
@@ -50,7 +141,15 @@ CampaignDataset CampaignDataset::from_campaign(
     dest.ping_responsive = campaign.ping_responsive(d) ? 1 : 0;
     dataset.destinations.push_back(dest);
   }
+  return dataset;
+}
 
+}  // namespace
+
+CampaignDataset CampaignDataset::from_campaign(
+    const measure::Campaign& campaign, std::string description) {
+  CampaignDataset dataset =
+      freeze_metadata(campaign, std::move(description));
   dataset.observations.reserve(campaign.num_vps() *
                                campaign.num_destinations());
   for (std::size_t v = 0; v < campaign.num_vps(); ++v) {
@@ -61,43 +160,49 @@ CampaignDataset CampaignDataset::from_campaign(
   return dataset;
 }
 
+CampaignDataset CampaignDataset::from_campaign(measure::Campaign&& campaign,
+                                               std::string description) {
+  CampaignDataset dataset =
+      freeze_metadata(campaign, std::move(description));
+  // The campaign stores observations row-major [vp][destination] — the
+  // dataset's exact layout — so surrendering the matrix is bit-identical
+  // to the copying overload.
+  dataset.observations = campaign.take_observations();
+  return dataset;
+}
+
 std::vector<std::uint8_t> CampaignDataset::serialize() const {
   net::ByteWriter out;
-  out.u32(kMagic);
-  out.u16(kVersion);
-  write_string(out, description);
-  out.u32(static_cast<std::uint32_t>(vps.size()));
-  out.u32(static_cast<std::uint32_t>(destinations.size()));
-  for (const auto& vp : vps) {
-    write_string(out, vp.site);
-    out.u8(vp.platform);
-  }
-  for (const auto& dest : destinations) {
-    out.u32(dest.address);
-    out.u32(dest.asn);
-    out.u8(dest.as_type);
-    out.u8(dest.ping_responsive);
-  }
-  for (const auto& obs : observations) {
-    out.u8(obs.flags);
-    out.u8(obs.stamp_count);
-    out.u8(obs.dest_slot);
-    out.u8(obs.free_slots);
-  }
+  TrailerState trailer;
+  emit_body(*this, [&](std::span<const std::uint8_t> chunk) {
+    trailer.feed(chunk);
+    out.bytes(chunk);
+  });
   // Trailing checksum over everything for corruption detection. The
   // one's-complement arithmetic needs 16-bit alignment, so pad first.
-  if (out.size() % 2 != 0) out.u8(0);
-  const std::uint16_t sum = net::internet_checksum(out.view());
-  out.u16(sum);
+  const auto tail = trailer.trailer();
+  out.bytes({tail.data(), trailer.trailer_size()});
   return std::move(out).take();
 }
 
 std::uint64_t CampaignDataset::content_hash() const {
+  // FNV-1a over the streamed serialization — the same bytes (and hash)
+  // serialize() would produce, at O(1) extra memory instead of a second
+  // dataset-sized buffer.
   std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
-  for (const std::uint8_t byte : serialize()) {
-    hash ^= byte;
-    hash *= 0x100000001b3ULL;  // FNV prime
-  }
+  const auto mix = [&hash](std::span<const std::uint8_t> chunk) {
+    for (const std::uint8_t byte : chunk) {
+      hash ^= byte;
+      hash *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  TrailerState trailer;
+  emit_body(*this, [&](std::span<const std::uint8_t> chunk) {
+    trailer.feed(chunk);
+    mix(chunk);
+  });
+  const auto tail = trailer.trailer();
+  mix({tail.data(), trailer.trailer_size()});
   return hash;
 }
 
@@ -157,11 +262,17 @@ std::optional<CampaignDataset> CampaignDataset::parse(
 }
 
 bool CampaignDataset::save(const std::string& path) const {
-  const auto bytes = serialize();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
+  TrailerState trailer;
+  emit_body(*this, [&](std::span<const std::uint8_t> chunk) {
+    trailer.feed(chunk);
+    out.write(reinterpret_cast<const char*>(chunk.data()),
+              static_cast<std::streamsize>(chunk.size()));
+  });
+  const auto tail = trailer.trailer();
+  out.write(reinterpret_cast<const char*>(tail.data()),
+            static_cast<std::streamsize>(trailer.trailer_size()));
   return static_cast<bool>(out);
 }
 

@@ -20,6 +20,7 @@
 // at any thread count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -82,6 +83,26 @@ struct CampaignConfig {
   /// sequences (block-major), so contents differ from block size to block
   /// size — but not with thread count or the FIB knob.
   std::size_t stream_block = 0;
+
+  /// Sizes `stream_block` from a resident-memory budget for the per-block
+  /// state (compiled FIB spines + raw sighting buffers) instead of a fixed
+  /// count. The model is a calibrated per-destination cost: each block
+  /// destination pins roughly `n_vps` spine-pair slots plus two spines'
+  /// worth of path hops and its raw sighting buffer — ~0.2 KiB per
+  /// (VP, destination) at census shape. Clamped to [1024, 65536] so a tiny
+  /// budget still makes progress and a huge one still streams.
+  ///
+  /// NOTE: the block size shapes dataset *contents* (block-major probe
+  /// order), so budget-sized runs are only hash-comparable to runs with
+  /// the same resolved block size. Flagship comparisons pin
+  /// stream_block = 8192 for exactly that reason.
+  [[nodiscard]] static std::size_t stream_block_for_budget(
+      std::size_t budget_mib, std::size_t n_vps) {
+    constexpr std::size_t kBytesPerVpDest = 200;
+    const std::size_t per_dest = kBytesPerVpDest * (n_vps > 0 ? n_vps : 1);
+    const std::size_t dests = (budget_mib * 1024 * 1024) / per_dest;
+    return std::clamp<std::size_t>(dests, 1024, 65536);
+  }
 };
 
 /// Aggregate allocation telemetry for one campaign run: how many times the
@@ -162,6 +183,15 @@ class Campaign {
   /// Allocation telemetry from the run (see CampaignAllocStats).
   [[nodiscard]] const CampaignAllocStats& alloc_stats() const noexcept {
     return alloc_stats_;
+  }
+
+  /// Surrenders the raw observation matrix (row-major [vp][destination] —
+  /// the exact layout data::CampaignDataset stores). At census scale the
+  /// matrix is ~300 MB; freezing a campaign into a dataset moves it
+  /// instead of copying. Afterwards at() must not be called, but the
+  /// derived per-destination summaries (rr_responsive & co) stay valid.
+  [[nodiscard]] std::vector<RrObservation> take_observations() noexcept {
+    return std::move(observations_);
   }
 
  private:

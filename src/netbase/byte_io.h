@@ -53,6 +53,10 @@ class ByteWriter {
   [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
     return buffer_;
   }
+
+  /// Empties the buffer but keeps its capacity, so a writer can be reused
+  /// as a flush-chunk scratch without reallocating per chunk.
+  void clear() noexcept { buffer_.clear(); }
   [[nodiscard]] std::vector<std::uint8_t> take() && noexcept {
     return std::move(buffer_);
   }

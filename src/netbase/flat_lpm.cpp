@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
+
+#include "util/thread_pool.h"
 
 namespace rr::net::detail {
 
@@ -12,9 +15,15 @@ constexpr std::uint32_t slot_of(std::uint32_t value_index,
   return (static_cast<std::uint32_t>(length) << 24) | (value_index + 1);
 }
 
+/// Granules per parallel fill shard. Big enough that short prefixes (which
+/// span many shards and get re-bucketed per shard) stay cheap; small
+/// enough that a census-scale table (~1.5M granules) splits into dozens of
+/// independent work items.
+constexpr std::uint32_t kShardGranules = 1u << 16;
+
 }  // namespace
 
-void FlatLpmCore::build(std::vector<Entry> entries) {
+void FlatLpmCore::build(std::vector<Entry> entries, util::ThreadPool* pool) {
   assert(entries.size() < kPayloadMask);
 
   // Shorter prefixes first, so a longer (more specific) prefix written
@@ -32,17 +41,21 @@ void FlatLpmCore::build(std::vector<Entry> entries) {
   lo24_ = 1;
   hi24_ = 0;
   bool have_range = false;
-  for (const Entry& e : entries) {
-    if (e.prefix.length() == 0) {
-      default_slot_ = slot_of(e.value_index, 0);
-      continue;
-    }
+  const auto granule_range = [](const Entry& e) {
     const std::uint32_t base = e.prefix.base().value();
     const std::uint32_t first = base >> 8;
     const std::uint32_t last = static_cast<std::uint32_t>(
         (std::uint64_t{base} +
          (std::uint64_t{1} << (32 - e.prefix.length())) - 1) >>
         8);
+    return std::pair{first, last};
+  };
+  for (const Entry& e : entries) {
+    if (e.prefix.length() == 0) {
+      default_slot_ = slot_of(e.value_index, 0);
+      continue;
+    }
+    const auto [first, last] = granule_range(e);
     if (!have_range) {
       lo24_ = first;
       hi24_ = last;
@@ -57,20 +70,65 @@ void FlatLpmCore::build(std::vector<Entry> entries) {
   if (!have_range) return;  // empty or /0-only: default_slot_ answers all
   tbl24_.assign(std::size_t{hi24_} - lo24_ + 1, default_slot_);
 
-  for (const Entry& e : entries) {
-    const std::uint8_t len = e.prefix.length();
-    if (len == 0) continue;
-    const std::uint32_t base = e.prefix.base().value();
-    const std::uint32_t slot = slot_of(e.value_index, len);
-    if (len <= 24) {
+  // Direct-table fill for prefixes up to /24. With a pool, the granule
+  // space splits into fixed shards; each shard collects the (already
+  // length-sorted) entries that touch it and replays them clamped to its
+  // range. Every tbl24 slot receives exactly the same sequence of writes
+  // as the serial loop, so the bytes are identical at any thread count.
+  const auto first_long = std::partition_point(
+      entries.begin(), entries.end(),
+      [](const Entry& e) { return e.prefix.length() <= 24; });
+  const std::span<const Entry> short_entries{entries.begin(), first_long};
+  if (pool == nullptr || pool->size() <= 1 ||
+      tbl24_.size() <= kShardGranules) {
+    for (const Entry& e : short_entries) {
+      if (e.prefix.length() == 0) continue;
+      const std::uint32_t base = e.prefix.base().value();
       const std::size_t first = (base >> 8) - lo24_;
       std::fill_n(tbl24_.begin() + static_cast<std::ptrdiff_t>(first),
-                  std::size_t{1} << (24 - len), slot);
-      continue;
+                  std::size_t{1} << (24 - e.prefix.length()),
+                  slot_of(e.value_index, e.prefix.length()));
     }
-    // Longer than /24: route the granule through a 256-entry overflow
-    // block seeded with whatever covered it so far. Length ordering
-    // guarantees no granule-wide fill happens after this promotion.
+  } else {
+    const std::size_t n_shards =
+        (tbl24_.size() + kShardGranules - 1) / kShardGranules;
+    std::vector<std::vector<std::uint32_t>> shard_entries(n_shards);
+    for (std::uint32_t i = 0; i < short_entries.size(); ++i) {
+      const Entry& e = short_entries[i];
+      if (e.prefix.length() == 0) continue;
+      const auto [first, last] = granule_range(e);
+      for (std::size_t s = (first - lo24_) / kShardGranules;
+           s <= (last - lo24_) / kShardGranules; ++s) {
+        shard_entries[s].push_back(i);
+      }
+    }
+    pool->parallel_for(n_shards, [&](std::size_t s) {
+      const std::size_t shard_lo = s * kShardGranules;
+      const std::size_t shard_hi =
+          std::min(tbl24_.size(), shard_lo + kShardGranules) - 1;
+      for (const std::uint32_t i : shard_entries[s]) {
+        const Entry& e = short_entries[i];
+        const auto [first, last] = granule_range(e);
+        const std::size_t from =
+            std::max<std::size_t>(first - lo24_, shard_lo);
+        const std::size_t to = std::min<std::size_t>(last - lo24_, shard_hi);
+        std::fill(tbl24_.begin() + static_cast<std::ptrdiff_t>(from),
+                  tbl24_.begin() + static_cast<std::ptrdiff_t>(to) + 1,
+                  slot_of(e.value_index, e.prefix.length()));
+      }
+    });
+  }
+
+  // Longer than /24: route the granule through a 256-entry overflow block
+  // seeded with whatever covered it so far. Serial — block numbers must be
+  // allocated in entry order — and cheap (such prefixes are rare in every
+  // address plan we generate). Length ordering guarantees no granule-wide
+  // fill happens after a promotion.
+  for (auto it = first_long; it != entries.end(); ++it) {
+    const Entry& e = *it;
+    const std::uint8_t len = e.prefix.length();
+    const std::uint32_t base = e.prefix.base().value();
+    const std::uint32_t slot = slot_of(e.value_index, len);
     const std::size_t granule = (base >> 8) - lo24_;
     std::uint32_t block;
     if (tbl24_[granule] & kOverflowFlag) {

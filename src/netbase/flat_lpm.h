@@ -24,6 +24,10 @@
 #include "netbase/lpm_trie.h"
 #include "netbase/prefix.h"
 
+namespace rr::util {
+class ThreadPool;
+}  // namespace rr::util
+
 namespace rr::net {
 
 namespace detail {
@@ -38,8 +42,11 @@ class FlatLpmCore {
   };
 
   /// Compiles the entry set. Entries may arrive in any order and overlap
-  /// arbitrarily; longest-prefix semantics are resolved here.
-  void build(std::vector<Entry> entries);
+  /// arbitrarily; longest-prefix semantics are resolved here. With a pool,
+  /// the direct-table fill runs block-parallel over disjoint granule
+  /// ranges (each range replays its covering entries in ascending length
+  /// order) — the table bytes are identical at any thread count.
+  void build(std::vector<Entry> entries, util::ThreadPool* pool = nullptr);
 
   struct Hit {
     std::uint32_t value_index;
@@ -91,8 +98,10 @@ class FlatLpm {
   FlatLpm() = default;
 
   /// Compiles `trie` (which stays untouched and remains the mutable
-  /// source of truth; rebuild after any further inserts).
-  explicit FlatLpm(const LpmTrie<Value>& trie) {
+  /// source of truth; rebuild after any further inserts). An optional pool
+  /// parallelizes the direct-table fill; the result is bit-identical.
+  explicit FlatLpm(const LpmTrie<Value>& trie,
+                   util::ThreadPool* pool = nullptr) {
     std::vector<detail::FlatLpmCore::Entry> entries;
     entries.reserve(trie.size());
     values_.reserve(trie.size());
@@ -101,7 +110,7 @@ class FlatLpm {
           {prefix, static_cast<std::uint32_t>(values_.size())});
       values_.push_back(value);
     });
-    core_.build(std::move(entries));
+    core_.build(std::move(entries), pool);
   }
 
   /// Longest-prefix-match lookup; nullptr when nothing covers `addr`.

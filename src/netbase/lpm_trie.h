@@ -4,10 +4,16 @@
 // mapping recorded/traceroute IP addresses back to the AS that owns them,
 // and as a generic forwarding-table structure. Path-compressed enough for
 // our scale by virtue of only allocating nodes along inserted prefixes.
+//
+// Nodes live in one pooled vector and children are 32-bit indices rather
+// than heap pointers: a census-scale address plan inserts ~3M nodes, and
+// node-per-malloc cost both the build time (an allocator call per node)
+// and ~4x the resident bytes (pointer pairs plus allocator headers).
+// Traversal order, and therefore for_each's visit order and everything
+// compiled from it, is identical to the pointer-based representation.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <vector>
 
@@ -19,31 +25,37 @@ namespace rr::net {
 template <typename Value>
 class LpmTrie {
  public:
-  LpmTrie() : root_(std::make_unique<Node>()) {}
+  LpmTrie() { nodes_.emplace_back(); }  // index 0 = root
 
   /// Inserts or replaces the value for an exact prefix.
   void insert(const Prefix& prefix, Value value) {
-    Node* node = root_.get();
+    std::uint32_t node = 0;
     const std::uint32_t bits = prefix.base().value();
     for (int depth = 0; depth < prefix.length(); ++depth) {
       const int bit = (bits >> (31 - depth)) & 1;
-      auto& child = node->children[bit];
-      if (!child) child = std::make_unique<Node>();
-      node = child.get();
+      std::uint32_t child = nodes_[node].children[bit];
+      if (child == kNone) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_[node].children[bit] = child;
+        nodes_.emplace_back();
+      }
+      node = child;
     }
-    if (!node->value.has_value()) ++size_;
-    node->value = std::move(value);
+    if (!nodes_[node].value.has_value()) ++size_;
+    nodes_[node].value = std::move(value);
   }
 
   /// Longest-prefix-match lookup; nullptr when nothing covers `addr`.
   [[nodiscard]] const Value* lookup(IPv4Address addr) const noexcept {
-    const Node* node = root_.get();
-    const Value* best = node->value ? &*node->value : nullptr;
+    std::uint32_t node = 0;
+    const Value* best =
+        nodes_[0].value ? &*nodes_[0].value : nullptr;
     const std::uint32_t bits = addr.value();
-    for (int depth = 0; depth < 32 && node; ++depth) {
+    for (int depth = 0; depth < 32; ++depth) {
       const int bit = (bits >> (31 - depth)) & 1;
-      node = node->children[bit].get();
-      if (node && node->value) best = &*node->value;
+      node = nodes_[node].children[bit];
+      if (node == kNone) break;
+      if (nodes_[node].value) best = &*nodes_[node].value;
     }
     return best;
   }
@@ -51,16 +63,17 @@ class LpmTrie {
   /// Longest matching prefix itself (with its value), if any.
   [[nodiscard]] std::optional<std::pair<Prefix, Value>> lookup_prefix(
       IPv4Address addr) const {
-    const Node* node = root_.get();
+    std::uint32_t node = 0;
     std::optional<std::pair<Prefix, Value>> best;
-    if (node->value) best = {Prefix{addr, 0}, *node->value};
+    if (nodes_[0].value) best = {Prefix{addr, 0}, *nodes_[0].value};
     const std::uint32_t bits = addr.value();
-    for (int depth = 0; depth < 32 && node; ++depth) {
+    for (int depth = 0; depth < 32; ++depth) {
       const int bit = (bits >> (31 - depth)) & 1;
-      node = node->children[bit].get();
-      if (node && node->value) {
+      node = nodes_[node].children[bit];
+      if (node == kNone) break;
+      if (nodes_[node].value) {
         best = {Prefix{addr, static_cast<std::uint8_t>(depth + 1)},
-                *node->value};
+                *nodes_[node].value};
       }
     }
     return best;
@@ -68,25 +81,27 @@ class LpmTrie {
 
   /// Exact-match lookup (no covering-prefix fallback).
   [[nodiscard]] const Value* exact(const Prefix& prefix) const noexcept {
-    const Node* node = root_.get();
+    std::uint32_t node = 0;
     const std::uint32_t bits = prefix.base().value();
-    for (int depth = 0; depth < prefix.length() && node; ++depth) {
+    for (int depth = 0; depth < prefix.length(); ++depth) {
       const int bit = (bits >> (31 - depth)) & 1;
-      node = node->children[bit].get();
+      node = nodes_[node].children[bit];
+      if (node == kNone) return nullptr;
     }
-    return (node && node->value) ? &*node->value : nullptr;
+    return nodes_[node].value ? &*nodes_[node].value : nullptr;
   }
 
   /// Removes an exact prefix; returns true if it was present.
   bool erase(const Prefix& prefix) noexcept {
-    Node* node = root_.get();
+    std::uint32_t node = 0;
     const std::uint32_t bits = prefix.base().value();
-    for (int depth = 0; depth < prefix.length() && node; ++depth) {
+    for (int depth = 0; depth < prefix.length(); ++depth) {
       const int bit = (bits >> (31 - depth)) & 1;
-      node = node->children[bit].get();
+      node = nodes_[node].children[bit];
+      if (node == kNone) return false;
     }
-    if (!node || !node->value) return false;
-    node->value.reset();
+    if (!nodes_[node].value) return false;
+    nodes_[node].value.reset();
     --size_;
     return true;
   }
@@ -94,32 +109,44 @@ class LpmTrie {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
+  /// Bytes held by the node pool (diagnostics).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return nodes_.capacity() * sizeof(Node);
+  }
+
   /// Visits every (prefix, value) pair in lexicographic bit order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    visit(root_.get(), 0, 0, fn);
+    visit(0, 0, 0, fn);
   }
 
  private:
+  /// children[] sentinel: the root is never anyone's child, so index 0 is
+  /// free to mean "absent" — which keeps a fresh node all-zero.
+  static constexpr std::uint32_t kNone = 0;
+
   struct Node {
     std::optional<Value> value;
-    std::unique_ptr<Node> children[2];
+    std::uint32_t children[2] = {kNone, kNone};
   };
 
   template <typename Fn>
-  static void visit(const Node* node, std::uint32_t bits, int depth, Fn& fn) {
-    if (!node) return;
-    if (node->value) {
+  void visit(std::uint32_t node, std::uint32_t bits, int depth,
+             Fn& fn) const {
+    const Node& n = nodes_[node];
+    if (n.value) {
       fn(Prefix{IPv4Address{depth == 0 ? 0 : bits << (32 - depth)},
                 static_cast<std::uint8_t>(depth)},
-         *node->value);
+         *n.value);
     }
     if (depth == 32) return;
-    visit(node->children[0].get(), bits << 1, depth + 1, fn);
-    visit(node->children[1].get(), (bits << 1) | 1, depth + 1, fn);
+    if (n.children[0] != kNone) visit(n.children[0], bits << 1, depth + 1, fn);
+    if (n.children[1] != kNone) {
+      visit(n.children[1], (bits << 1) | 1, depth + 1, fn);
+    }
   }
 
-  std::unique_ptr<Node> root_;
+  std::vector<Node> nodes_;
   std::size_t size_ = 0;
 };
 

@@ -1,7 +1,6 @@
 #include "routing/bgp.h"
 
 #include <algorithm>
-#include <functional>
 
 namespace rr::route {
 
@@ -30,26 +29,61 @@ BgpEngine::BgpEngine(std::shared_ptr<const topo::Topology> topology,
                      Epoch epoch)
     : topology_(std::move(topology)), epoch_(epoch) {
   const std::size_t n = topology_->ases().size();
-  customers_.resize(n);
-  providers_.resize(n);
-  peers_.resize(n);
+
+  // Two passes over the link table: degree count, then placement. The
+  // placement order is link-table order; a final per-AS sort restores the
+  // ascending neighbour order that every tie-break in compute_tree_into
+  // depends on (identical to the old vector-of-vectors construction).
+  std::vector<std::uint32_t> deg_customers(n, 0), deg_providers(n, 0),
+      deg_peers(n, 0);
   for (const auto& link : topology_->links()) {
     if (!link.exists_in(epoch_)) continue;
     if (link.kind == topo::LinkKind::kCustomerProvider) {
       // link.a is the customer of link.b.
-      providers_[link.a].push_back(link.b);
-      customers_[link.b].push_back(link.a);
+      ++deg_providers[link.a];
+      ++deg_customers[link.b];
     } else {
-      peers_[link.a].push_back(link.b);
-      peers_[link.b].push_back(link.a);
+      ++deg_peers[link.a];
+      ++deg_peers[link.b];
     }
   }
-  // Sorted adjacency gives deterministic tie-breaking everywhere below.
-  for (std::size_t i = 0; i < n; ++i) {
-    std::sort(customers_[i].begin(), customers_[i].end());
-    std::sort(providers_[i].begin(), providers_[i].end());
-    std::sort(peers_[i].begin(), peers_[i].end());
+  const auto make_offsets = [n](Csr& csr,
+                                const std::vector<std::uint32_t>& degree) {
+    csr.offsets.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      csr.offsets[i + 1] = csr.offsets[i] + degree[i];
+    }
+    csr.flat.resize(csr.offsets[n]);
+  };
+  make_offsets(customers_, deg_customers);
+  make_offsets(providers_, deg_providers);
+  make_offsets(peers_, deg_peers);
+
+  std::vector<std::uint32_t> fill_customers(customers_.offsets.begin(),
+                                            customers_.offsets.end() - 1);
+  std::vector<std::uint32_t> fill_providers(providers_.offsets.begin(),
+                                            providers_.offsets.end() - 1);
+  std::vector<std::uint32_t> fill_peers(peers_.offsets.begin(),
+                                        peers_.offsets.end() - 1);
+  for (const auto& link : topology_->links()) {
+    if (!link.exists_in(epoch_)) continue;
+    if (link.kind == topo::LinkKind::kCustomerProvider) {
+      providers_.flat[fill_providers[link.a]++] = link.b;
+      customers_.flat[fill_customers[link.b]++] = link.a;
+    } else {
+      peers_.flat[fill_peers[link.a]++] = link.b;
+      peers_.flat[fill_peers[link.b]++] = link.a;
+    }
   }
+  const auto sort_rows = [n](Csr& csr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::sort(csr.flat.begin() + csr.offsets[i],
+                csr.flat.begin() + csr.offsets[i + 1]);
+    }
+  };
+  sort_rows(customers_);
+  sort_rows(providers_);
+  sort_rows(peers_);
 }
 
 RouteTree BgpEngine::compute_tree(AsId destination) const {
@@ -80,17 +114,22 @@ void BgpEngine::compute_tree_into(AsId destination,
     ++level;
     next_frontier.clear();
     for (AsId below : frontier) {
-      for (AsId provider : providers_[below]) {
-        if (customer_dist[provider] !=
-            std::numeric_limits<std::uint16_t>::max()) {
-          continue;
+      for (AsId provider : providers_.neighbors(below)) {
+        const std::uint16_t seen = customer_dist[provider];
+        if (seen == std::numeric_limits<std::uint16_t>::max()) {
+          customer_dist[provider] = level;
+          entries[provider] = RouteEntry{below, level, RouteClass::kCustomer};
+          next_frontier.push_back(provider);
+        } else if (seen == level && below < entries[provider].next_hop) {
+          // Tie-break without sorting the frontier: the historical rule —
+          // first claimant in ascending-frontier order — is exactly "the
+          // smallest same-level neighbour wins", so track the minimum
+          // explicitly and the frontier order stops mattering. Phases 2
+          // and 3 scan by AS index, so no other order dependence exists.
+          entries[provider].next_hop = below;
         }
-        customer_dist[provider] = level;
-        entries[provider] = RouteEntry{below, level, RouteClass::kCustomer};
-        next_frontier.push_back(provider);
       }
     }
-    std::sort(next_frontier.begin(), next_frontier.end());
     std::swap(frontier, next_frontier);
   }
 
@@ -102,7 +141,7 @@ void BgpEngine::compute_tree_into(AsId destination,
       continue;
     }
     RouteEntry best = entries[as];
-    for (AsId peer : peers_[as]) {
+    for (AsId peer : peers_.neighbors(as)) {
       if (customer_dist[peer] == std::numeric_limits<std::uint16_t>::max()) {
         continue;
       }
@@ -116,52 +155,69 @@ void BgpEngine::compute_tree_into(AsId destination,
     entries[as] = best;
   }
 
-  // Phase 3 — provider routes: Dijkstra over provider->customer edges,
-  // seeded by every AS that already selected a (customer/peer/self) route.
-  // An AS exports its selected route to its customers, so provider routes
-  // chain downward with unit cost per hop. The heap lives in the scratch;
-  // push_heap/pop_heap with greater<> pop in exactly the order
-  // std::priority_queue (which wraps these very calls) would.
-  using HeapItem = std::tuple<std::uint16_t, AsId, AsId>;  // len, parent, as
-  auto& heap = scratch.heap;
-  heap.clear();
-  const auto heap_push = [&heap](HeapItem item) {
-    heap.push_back(item);
-    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  // Phase 3 — provider routes: shortest chains over provider->customer
+  // edges, seeded by every AS that already selected a (customer/peer/self)
+  // route. An AS exports its selected route to its customers, so provider
+  // routes chain downward with unit cost per hop.
+  //
+  // This used to be a binary-heap Dijkstra popping (len, parent, as)
+  // tuples in ascending order. It is now a Dial bucket queue — bucket[L]
+  // collects the relaxations pending at length L, and each bucket is
+  // sorted by (parent, as) before it is drained. The settle order is
+  // provably identical to the heap's pop order: every relaxation in
+  // bucket[L] is created either by the seed scan (which runs before any
+  // drain) or while draining bucket[L-1] (unit edge weights — a drained
+  // item only pushes at L+1), so bucket[L] is complete before its drain
+  // begins; and because every item still in the queue at that point has
+  // length >= L, the heap would necessarily pop exactly these items next,
+  // in (parent, as) order — which is the bucket's sort order.
+  auto& buckets = scratch.buckets;
+  for (auto& bucket : buckets) bucket.clear();
+  std::size_t max_len = 0;  // highest non-empty bucket index
+  const auto push = [&buckets, &max_len](std::uint16_t len, AsId parent,
+                                         AsId as) {
+    if (buckets.size() <= len) buckets.resize(len + 1);
+    if (len > max_len) max_len = len;
+    buckets[len].emplace_back(parent, as);
   };
   for (AsId as = 0; as < n; ++as) {
     if (entries[as].reachable()) {
-      for (AsId customer : customers_[as]) {
+      for (AsId customer : customers_.neighbors(as)) {
         if (class_rank(entries[customer].route_class) <=
             class_rank(RouteClass::kPeer)) {
           continue;
         }
-        heap_push({static_cast<std::uint16_t>(entries[as].length + 1), as,
-                   customer});
+        push(static_cast<std::uint16_t>(entries[as].length + 1), as,
+             customer);
       }
     }
   }
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
-    const auto [len, parent, as] = heap.back();
-    heap.pop_back();
-    RouteEntry& entry = entries[as];
-    if (class_rank(entry.route_class) <= class_rank(RouteClass::kPeer)) {
-      continue;  // prefers better
-    }
-    if (entry.route_class == RouteClass::kProvider &&
-        (entry.length < len ||
-         (entry.length == len && entry.next_hop <= parent))) {
-      continue;  // already settled at least as well
-    }
-    entry = RouteEntry{parent, len, RouteClass::kProvider};
-    for (AsId customer : customers_[as]) {
-      if (class_rank(entries[customer].route_class) <=
-          class_rank(RouteClass::kPeer)) {
-        continue;
+  for (std::size_t len = 0; len <= max_len; ++len) {
+    // Index-based access throughout: `push` may grow the outer vector,
+    // which would invalidate a cached reference to buckets[len].
+    std::sort(buckets[len].begin(), buckets[len].end());
+    for (std::size_t k = 0; k < buckets[len].size(); ++k) {
+      const auto [parent, as] = buckets[len][k];
+      RouteEntry& entry = entries[as];
+      if (class_rank(entry.route_class) <= class_rank(RouteClass::kPeer)) {
+        continue;  // prefers better
       }
-      heap_push({static_cast<std::uint16_t>(len + 1), as, customer});
+      if (entry.route_class == RouteClass::kProvider &&
+          (entry.length < len ||
+           (entry.length == len && entry.next_hop <= parent))) {
+        continue;  // already settled at least as well
+      }
+      entry = RouteEntry{parent, static_cast<std::uint16_t>(len),
+                         RouteClass::kProvider};
+      for (AsId customer : customers_.neighbors(as)) {
+        if (class_rank(entries[customer].route_class) <=
+            class_rank(RouteClass::kPeer)) {
+          continue;
+        }
+        push(static_cast<std::uint16_t>(len + 1), as, customer);
+      }
     }
+    buckets[len].clear();
   }
 }
 

@@ -14,7 +14,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
-#include <tuple>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -81,18 +81,28 @@ class RouteTree {
 };
 
 /// Reusable working set for compute_tree_into: one tree computation's
-/// entries, BFS state and heap, recycled across calls so a sweep over many
-/// destinations allocates only while the vectors are still growing.
+/// entries, BFS state and the Dijkstra bucket queue, recycled across calls
+/// so a sweep over many destinations allocates only while the vectors are
+/// still growing.
 struct TreeScratch {
   std::vector<RouteEntry> entries;
   std::vector<std::uint16_t> customer_dist;
   std::vector<AsId> frontier;
   std::vector<AsId> next_frontier;
-  std::vector<std::tuple<std::uint16_t, AsId, AsId>> heap;  // len, parent, as
+  /// Dial buckets for the provider-route phase: buckets[len] holds the
+  /// (parent, as) relaxations pending at path length `len`. Inner vectors
+  /// keep their capacity across trees.
+  std::vector<std::vector<std::pair<AsId, AsId>>> buckets;
 };
 
 /// Per-epoch BGP engine: owns the epoch-filtered adjacency and computes
 /// route trees.
+///
+/// Adjacency lives in three CSR (offset + flat id) tables rather than
+/// vector-of-vectors: one cache-resident array per relation makes the
+/// per-tree sweeps — which touch every edge of the graph — sequential
+/// scans. Per-AS neighbour order is unchanged (sorted ascending), so every
+/// deterministic tie-break below is unchanged too.
 class BgpEngine {
  public:
   BgpEngine(std::shared_ptr<const topo::Topology> topology, Epoch epoch);
@@ -108,28 +118,40 @@ class BgpEngine {
   /// Same computation into a reusable scratch: the selected routes land in
   /// `scratch.entries` (indexed by AS) and every working vector keeps its
   /// storage for the next call. The route selection — including every
-  /// tie-break — is identical to compute_tree: the Dijkstra phase drives
-  /// push_heap/pop_heap over the scratch vector, which is exactly how
-  /// std::priority_queue orders its pops.
+  /// tie-break — is identical to compute_tree: the provider phase settles
+  /// relaxations in exactly the (length, parent, as) order the heap-based
+  /// Dijkstra popped them (see the equivalence note in bgp.cpp).
   void compute_tree_into(AsId destination, TreeScratch& scratch) const;
 
-  /// Epoch-filtered adjacency, exposed for diagnostics/tests.
-  [[nodiscard]] const std::vector<AsId>& customers_of(AsId as) const noexcept {
-    return customers_[as];
+  /// Epoch-filtered adjacency, exposed for diagnostics/tests. Each span is
+  /// the AS's neighbour list sorted ascending.
+  [[nodiscard]] std::span<const AsId> customers_of(AsId as) const noexcept {
+    return customers_.neighbors(as);
   }
-  [[nodiscard]] const std::vector<AsId>& providers_of(AsId as) const noexcept {
-    return providers_[as];
+  [[nodiscard]] std::span<const AsId> providers_of(AsId as) const noexcept {
+    return providers_.neighbors(as);
   }
-  [[nodiscard]] const std::vector<AsId>& peers_of(AsId as) const noexcept {
-    return peers_[as];
+  [[nodiscard]] std::span<const AsId> peers_of(AsId as) const noexcept {
+    return peers_.neighbors(as);
   }
 
  private:
+  /// One relation's adjacency in compressed sparse row form.
+  struct Csr {
+    std::vector<std::uint32_t> offsets;  // size n+1
+    std::vector<AsId> flat;              // concatenated neighbour lists
+
+    [[nodiscard]] std::span<const AsId> neighbors(AsId as) const noexcept {
+      return {flat.data() + offsets[as],
+              flat.data() + offsets[static_cast<std::size_t>(as) + 1]};
+    }
+  };
+
   std::shared_ptr<const topo::Topology> topology_;
   Epoch epoch_;
-  std::vector<std::vector<AsId>> customers_;  // as -> its customers
-  std::vector<std::vector<AsId>> providers_;  // as -> its providers
-  std::vector<std::vector<AsId>> peers_;      // as -> its peers
+  Csr customers_;  // as -> its customers
+  Csr providers_;  // as -> its providers
+  Csr peers_;      // as -> its peers
 };
 
 }  // namespace rr::route

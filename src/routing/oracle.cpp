@@ -36,29 +36,26 @@ RoutingOracle::RoutingOracle(std::shared_ptr<const topo::Topology> topology,
   std::sort(sources_.begin(), sources_.end());
   sources_.erase(std::unique(sources_.begin(), sources_.end()),
                  sources_.end());
-  for (std::uint32_t i = 0; i < sources_.size(); ++i) {
-    source_index_.emplace(sources_[i], i);
-  }
 
   const std::size_t n = engine_.topology().ases().size();
   const std::size_t n_sources = sources_.size();
+  source_slot_.assign(n, kNotSource);
+  for (std::uint32_t i = 0; i < sources_.size(); ++i) {
+    source_slot_[sources_[i]] = i;
+  }
   forward_offsets_.assign(n_sources * n, 0);
   arena_.push_back(topo::kNoAs);  // slot 0 = unreachable sentinel
 
   util::ThreadPool pool(util::resolve_thread_count(threads));
 
   // Pin the trees toward each source (reverse-path service).
-  {
-    std::vector<std::unique_ptr<RouteTree>> trees(n_sources);
-    pool.parallel_for(n_sources, [&](std::size_t i) {
-      TreeScratch& scratch = thread_scratch();
-      engine_.compute_tree_into(sources_[i], scratch);
-      trees[i] = std::make_unique<RouteTree>(sources_[i], scratch.entries);
-    });
-    for (std::size_t i = 0; i < n_sources; ++i) {
-      pinned_.emplace(sources_[i], std::move(trees[i]));
-    }
-  }
+  pinned_.resize(n);
+  pool.parallel_for(n_sources, [&](std::size_t i) {
+    TreeScratch& scratch = thread_scratch();
+    engine_.compute_tree_into(sources_[i], scratch);
+    pinned_[sources_[i]] =
+        std::make_unique<RouteTree>(sources_[i], scratch.entries);
+  });
 
   // The destination sweep: one tree per destination AS, extracting each
   // source's path. Workers fill independent blocks; the serial merge below
@@ -124,16 +121,16 @@ std::span<const AsId> RoutingOracle::path_view(AsId src, AsId dst,
     return {storage.data(), 1};
   }
 
-  if (const auto it = source_index_.find(src); it != source_index_.end()) {
+  if (const std::uint32_t slot = source_slot_[src]; slot != kNotSource) {
     const std::size_t n = engine_.topology().ases().size();
-    const std::uint32_t offset = forward_offsets_[it->second * n + dst];
+    const std::uint32_t offset = forward_offsets_[slot * n + dst];
     if (offset == 0) return {};
     const AsId length = arena_[offset];
     return {arena_.data() + offset + 1, static_cast<std::size_t>(length)};
   }
 
-  if (const auto it = pinned_.find(dst); it != pinned_.end()) {
-    it->second->as_path_into(src, storage);
+  if (const RouteTree* tree = pinned_[dst].get(); tree != nullptr) {
+    tree->as_path_into(src, storage);
     return {storage.data(), storage.size()};
   }
 

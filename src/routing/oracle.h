@@ -75,9 +75,15 @@ class RoutingOracle {
   void fallback_path_into(AsId src, AsId dst, std::vector<AsId>& out)
       RROPT_EXCLUDES(fallback_mu_);
 
+  static constexpr std::uint32_t kNotSource = 0xffff'ffffu;
+
   BgpEngine engine_;
-  std::vector<AsId> sources_;                      // sorted, unique
-  std::unordered_map<AsId, std::uint32_t> source_index_;
+  std::vector<AsId> sources_;  // sorted, unique
+  /// AsId -> index into sources_, kNotSource otherwise. Flat (one slot per
+  /// AS) rather than a hash map: path_view consults it once per campaign
+  /// path resolution, and an indexed load beats a hashtable probe on that
+  /// scale (~10M queries per census).
+  std::vector<std::uint32_t> source_slot_;
 
   // Forward paths: arena[offsets[source_idx * num_as + dst]] .. length-
   // prefixed sequences. Offset of 0 means "unreachable" (arena slot 0 is a
@@ -85,8 +91,10 @@ class RoutingOracle {
   std::vector<std::uint32_t> forward_offsets_;
   std::vector<AsId> arena_;
 
-  // Pinned trees toward each source AS (for reverse paths).
-  std::unordered_map<AsId, std::unique_ptr<RouteTree>> pinned_;
+  // Pinned trees toward each source AS (for reverse paths), indexed by the
+  // destination AS (null for non-sources — same flat-beats-hash reasoning
+  // as source_slot_).
+  std::vector<std::unique_ptr<RouteTree>> pinned_;
 
   // Small FIFO cache for everything else, guarded for concurrent callers.
   // Eviction replaces the slot at `fallback_evict_at_` and advances it (a

@@ -58,9 +58,19 @@ Network::Network(std::shared_ptr<const topo::Topology> topology,
       host_ipid_count_(topology_->hosts().size()) {
   util::SerialGateLock gate(serial_gate_);
   buckets_.reserve(topology_->routers().size());
+  hop_rows_.reserve(topology_->routers().size());
   for (RouterId id = 0; id < topology_->routers().size(); ++id) {
     const RouterBehavior& b = behaviors_->router(id);
     buckets_.emplace_back(b.options_rate_pps, b.options_burst);
+    HopRow row;
+    row.as_id = topology_->router_at(id).as_id;
+    const AsBehavior& ab = behaviors_->as_behavior(row.as_id);
+    if (b.hidden) row.flags |= HopRow::kHidden;
+    if (b.stamps) row.flags |= HopRow::kStamps;
+    if (b.options_rate_pps > 0.0f) row.flags |= HopRow::kRateLimited;
+    if (ab.filters_transit) row.flags |= HopRow::kFiltersTransit;
+    if (ab.filters_edge) row.flags |= HopRow::kFiltersEdge;
+    hop_rows_.push_back(row);
   }
 }
 
@@ -153,9 +163,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
   for (std::size_t i = 0; i < hops.size(); ++i) {
     now += params_.hop_delay_s;
     const RouterId router = hops[i].router;
-    const RouterBehavior& rb = behaviors_->router(router);
-    const topo::AsId as = topology_->router_at(router).as_id;
-    const AsBehavior& ab = behaviors_->as_behavior(as);
+    const HopRow row = hop_rows_[router];
 
     // Injected mid-path faults (sim/fault.h). Each draw is a pure function
     // of (fault seed, flow, leg, hop, kind), so a faulted packet's fate is
@@ -238,7 +246,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
               static_cast<std::uint32_t>(ctx->trace.events.size());
         }
       }
-      if (rb.options_rate_pps > 0.0f) {
+      if ((row.flags & HopRow::kRateLimited) != 0) {
         if (ctx != nullptr) {
           // Deferred mode: record the consume for serial resolution and
           // continue as if it succeeded. A failed consume is a silent
@@ -255,15 +263,16 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
           }
         }
       }
-      const bool at_edge = (as == src_as) || (as == dst_as);
-      if (ab.filters_transit || (at_edge && ab.filters_edge)) {
+      const bool at_edge = (row.as_id == src_as) || (row.as_id == dst_as);
+      if ((row.flags & HopRow::kFiltersTransit) != 0 ||
+          (at_edge && (row.flags & HopRow::kFiltersEdge) != 0)) {
         if (!doomed) ++c.dropped_filter;
         return result;
       }
     }
 
     // TTL handling (hidden routers forward without decrementing).
-    if (!rb.hidden) {
+    if ((row.flags & HopRow::kHidden) == 0) {
       const auto ttl = view.decrement_ttl();
       if (!ttl) {
         if (!doomed) ++c.dropped_ttl;
@@ -284,7 +293,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
     // Record Route / Timestamp stamping of the outgoing interface. A
     // byzantine stamper records a class-E bogus address instead — noise
     // that analysis must tolerate but can never mistake for a real hop.
-    if (has_options && rb.stamps) {
+    if (has_options && (row.flags & HopRow::kStamps) != 0) {
       net::IPv4Address egress = hops[i].egress;
       if (fault_plan_.enabled() &&
           fault_plan_.byzantine_stamp(flow, leg, i)) {

@@ -362,6 +362,21 @@ class Network {
     return buckets_[router];
   }
 
+  /// Everything the per-hop walk pipeline reads about a router, packed
+  /// into one 8-byte row so the ~half-billion hop iterations of a census
+  /// issue a single indexed load instead of three dependent loads across
+  /// the router table, the topology and the per-AS behaviour array. Built
+  /// once at construction; the AS filter policy is folded per router.
+  struct HopRow {
+    static constexpr std::uint8_t kHidden = 1 << 0;
+    static constexpr std::uint8_t kStamps = 1 << 1;
+    static constexpr std::uint8_t kRateLimited = 1 << 2;
+    static constexpr std::uint8_t kFiltersTransit = 1 << 3;
+    static constexpr std::uint8_t kFiltersEdge = 1 << 4;
+    std::uint32_t as_id = 0;
+    std::uint8_t flags = 0;
+  };
+
   std::shared_ptr<const topo::Topology> topology_;
   std::shared_ptr<const Behaviors> behaviors_;
   route::PathStitcher stitcher_;
@@ -386,6 +401,7 @@ class Network {
   /// forwarding plane: the old lazy hash map cost a probe-path lookup per
   /// policed hop).
   std::vector<TokenBucket> buckets_ RROPT_GUARDED_BY(serial_gate_);
+  std::vector<HopRow> hop_rows_;  // immutable after construction
   ReplyScratch serial_scratch_;  // ctx == nullptr sends only
   std::vector<route::PathHop> serial_fwd_path_scratch_;
   std::vector<route::PathHop> serial_rev_path_scratch_;

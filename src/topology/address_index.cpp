@@ -1,53 +1,130 @@
 #include "topology/address_index.h"
 
 #include <cassert>
+#include <cmath>
+
+#include "util/thread_pool.h"
 
 namespace rr::topo {
 
-void AddressIndex::insert(net::IPv4Address addr, AddressOwner owner) {
+std::uint32_t AddressIndex::pack(AddressOwner owner) noexcept {
   assert(owner.id < kHostBit);
-  const std::uint32_t packed =
-      owner.id |
-      (owner.kind == AddressOwner::Kind::kHost ? kHostBit : 0u);
-  const std::uint32_t key = addr.value();
-  if (key == 0) {
-    zero_owner_ = owner;
-    return;
-  }
-  // Grow at ~0.75 load so probe chains stay short.
-  if ((size_ + 1) * 4 > slots_.size() * 3) rehash(slots_.size() * 2);
-  for (std::size_t i = util::mix64(key) & mask_;; i = (i + 1) & mask_) {
-    Slot& slot = slots_[i];
+  return owner.id |
+         (owner.kind == AddressOwner::Kind::kHost ? kHostBit : 0u);
+}
+
+void AddressIndex::insert_into_shard(std::size_t shard, std::uint32_t key,
+                                     std::uint32_t packed) noexcept {
+  const std::size_t base = shard << shard_bits_;
+  for (std::size_t i = util::mix64(key) & shard_mask_;;
+       i = (i + 1) & shard_mask_) {
+    Slot& slot = slots_[base + i];
     if (slot.key == key) {
       slot.owner = packed;
       return;
     }
     if (slot.key == 0) {
       slot = {key, packed};
-      ++size_;
+      ++shard_sizes_[shard];
       return;
     }
   }
 }
 
-void AddressIndex::rehash(std::size_t expected) {
+void AddressIndex::insert(net::IPv4Address addr, AddressOwner owner) {
+  const std::uint32_t key = addr.value();
+  if (key == 0) {
+    zero_owner_ = owner;
+    return;
+  }
+  const std::size_t shard = shard_of(util::mix64(key));
+  // Grow at ~0.75 per-shard load so probe chains stay short. Growth is
+  // global (every shard doubles): with a uniform hash the shards fill in
+  // lock-step, and a shared capacity keeps the addressing arithmetic flat.
+  if (shard_full(shard)) rehash((shard_mask_ + 1) * 2);
+  const std::uint32_t before = shard_sizes_[shard];
+  insert_into_shard(shard, key, pack(owner));
+  size_ += shard_sizes_[shard] - before;
+}
+
+void AddressIndex::reserve(std::size_t expected) {
+  // Per-shard capacity for the mean load plus imbalance slack (the keys
+  // spread Poisson-ish across shards; 6 sigma + a constant covers the
+  // worst shard far beyond any realistic failure probability). Growth in
+  // insert() still backstops a shard that beats the estimate.
+  const double mean =
+      static_cast<double>(expected) / static_cast<double>(kShards);
+  const double worst = mean + 6.0 * std::sqrt(mean) + 8.0;
   std::size_t capacity = 16;
-  while (capacity * 3 < expected * 4) capacity *= 2;
+  while (static_cast<double>(capacity) * 3.0 < worst * 4.0) capacity *= 2;
+  if (capacity > shard_mask_ + 1 || slots_.empty()) rehash(capacity);
+}
+
+void AddressIndex::rehash(std::size_t shard_capacity) {
+  assert((shard_capacity & (shard_capacity - 1)) == 0);
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(capacity, Slot{});
-  mask_ = capacity - 1;
+  const std::size_t old_bits = shard_bits_;
+  const auto old_sizes = shard_sizes_;
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < shard_capacity) ++bits;
+  shard_bits_ = bits;
+  shard_mask_ = shard_capacity - 1;
+  shard_sizes_.fill(0);
+  slots_.assign(kShards * shard_capacity, Slot{});
   size_ = 0;
-  for (const Slot& slot : old) {
-    if (slot.key == 0) continue;
-    for (std::size_t i = util::mix64(slot.key) & mask_;;
-         i = (i + 1) & mask_) {
-      if (slots_[i].key == 0) {
-        slots_[i] = slot;
-        ++size_;
-        break;
-      }
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    if (old.empty()) break;
+    const std::size_t base = shard << old_bits;
+    std::size_t remaining = old_sizes[shard];
+    for (std::size_t i = 0; remaining > 0; ++i) {
+      const Slot& slot = old[base + i];
+      if (slot.key == 0) continue;
+      --remaining;
+      // Same shard before and after (the shard is picked by high hash
+      // bits, independent of capacity).
+      insert_into_shard(shard, slot.key, slot.owner);
+      ++size_;
     }
   }
+}
+
+void AddressIndex::build(
+    std::span<const std::pair<net::IPv4Address, AddressOwner>> records,
+    util::ThreadPool& pool) {
+  reserve(size_ + records.size());
+  // Route records to shards in input order; each shard's insert sequence
+  // is then a pure function of the input, not of the thread count.
+  std::array<std::vector<std::uint32_t>, kShards> per_shard;
+  const std::size_t estimate = records.size() / kShards + 16;
+  for (auto& list : per_shard) list.reserve(estimate);
+  for (std::uint32_t r = 0; r < records.size(); ++r) {
+    const std::uint32_t key = records[r].first.value();
+    if (key == 0) {
+      zero_owner_ = records[r].second;
+      continue;
+    }
+    per_shard[shard_of(util::mix64(key))].push_back(r);
+  }
+  // reserve() sized for the mean; make sure every shard fits its actual
+  // load before the race-free parallel fill (growth must not happen
+  // inside it).
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    while ((shard_sizes_[shard] + per_shard[shard].size() + 1) * 4 >
+           (shard_mask_ + 1) * 3) {
+      rehash((shard_mask_ + 1) * 2);
+    }
+  }
+  pool.parallel_for(kShards, [&](std::size_t shard) {
+    for (const std::uint32_t r : per_shard[shard]) {
+      insert_into_shard(shard, records[r].first.value(),
+                        pack(records[r].second));
+    }
+  });
+  std::size_t total = 0;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    total += shard_sizes_[shard];
+  }
+  size_ = total;
 }
 
 }  // namespace rr::topo

@@ -6,19 +6,34 @@
 // power-of-two linear-probe table of 8-byte slots — one mix64 and usually
 // one cache line per hit — and packs the AddressOwner into 32 bits.
 //
+// The table is split into 64 independent shards (top hash bits pick the
+// shard, low bits the probe start inside it; probes wrap within the
+// shard). Sharding costs one shift+add on lookup and buys a bulk build
+// that is both parallel and deterministic: `build` distributes records to
+// shards in input order and fills each shard independently, so the final
+// byte layout is identical at any thread count — no atomics, no
+// insertion-order races, no rehashing mid-build.
+//
 // Key 0 (0.0.0.0) doubles as the empty-slot marker; since the generator's
 // address plan starts at 16.0.0.0 that address is never assigned, but a
 // dedicated side slot keeps the structure fully general (asserted by the
 // randomized equivalence test against std::unordered_map).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "netbase/address.h"
 #include "topology/types.h"
 #include "util/rng.h"
+
+namespace rr::util {
+class ThreadPool;
+}  // namespace rr::util
 
 namespace rr::topo {
 
@@ -32,17 +47,30 @@ struct AddressOwner {
 
 class AddressIndex {
  public:
-  explicit AddressIndex(std::size_t expected = 0) { rehash(expected); }
+  explicit AddressIndex(std::size_t expected = 0) { reserve(expected); }
 
   /// Inserts or replaces the owner of `addr`.
   void insert(net::IPv4Address addr, AddressOwner owner);
+
+  /// Bulk insert, partitioned across `pool` one shard per work item. The
+  /// resulting table bytes are identical to inserting `records` in order
+  /// on one thread (records are routed to shards in input order; shards
+  /// are independent).
+  void build(std::span<const std::pair<net::IPv4Address, AddressOwner>> records,
+             util::ThreadPool& pool);
+
+  /// Presizes so that `expected` total keys fit without any further
+  /// growth rehash (including per-shard imbalance slack).
+  void reserve(std::size_t expected);
 
   [[nodiscard]] std::optional<AddressOwner> find(
       net::IPv4Address addr) const noexcept {
     const std::uint32_t key = addr.value();
     if (key == 0) return zero_owner_;
-    for (std::size_t i = util::mix64(key) & mask_;; i = (i + 1) & mask_) {
-      const Slot& slot = slots_[i];
+    const std::uint64_t h = util::mix64(key);
+    const std::size_t base = (h >> (64 - kShardBits)) << shard_bits_;
+    for (std::size_t i = h & shard_mask_;; i = (i + 1) & shard_mask_) {
+      const Slot& slot = slots_[base + i];
       if (slot.key == key) return unpack(slot.owner);
       if (slot.key == 0) return std::nullopt;
     }
@@ -61,6 +89,8 @@ class AddressIndex {
     std::uint32_t owner = 0;  // bit 31 = kind (host), bits 0..30 = id
   };
 
+  static constexpr int kShardBits = 6;
+  static constexpr std::size_t kShards = 1u << kShardBits;
   static constexpr std::uint32_t kHostBit = 0x8000'0000u;
 
   [[nodiscard]] static AddressOwner unpack(std::uint32_t packed) noexcept {
@@ -68,11 +98,29 @@ class AddressIndex {
                                 : AddressOwner::Kind::kRouter,
             packed & ~kHostBit};
   }
+  [[nodiscard]] static std::uint32_t pack(AddressOwner owner) noexcept;
+  [[nodiscard]] static std::size_t shard_of(std::uint64_t hash) noexcept {
+    return hash >> (64 - kShardBits);
+  }
 
-  void rehash(std::size_t expected);
+  /// True when one more key would push the shard past ~0.75 load.
+  [[nodiscard]] bool shard_full(std::size_t shard) const noexcept {
+    return (static_cast<std::size_t>(shard_sizes_[shard]) + 1) * 4 >
+           (shard_mask_ + 1) * 3;
+  }
 
-  std::vector<Slot> slots_;
-  std::size_t mask_ = 0;
+  /// Places a key in its shard; the shard must have room (no growth here,
+  /// which is what makes the parallel build race-free).
+  void insert_into_shard(std::size_t shard, std::uint32_t key,
+                         std::uint32_t packed) noexcept;
+
+  /// Rebuilds with per-shard capacity `shard_capacity` (a power of two).
+  void rehash(std::size_t shard_capacity);
+
+  std::vector<Slot> slots_;     // kShards contiguous shards
+  std::size_t shard_bits_ = 0;  // log2(per-shard capacity)
+  std::size_t shard_mask_ = 0;  // per-shard capacity - 1
+  std::array<std::uint32_t, kShards> shard_sizes_{};
   std::size_t size_ = 0;  // non-zero keys stored
   std::optional<AddressOwner> zero_owner_;
 };

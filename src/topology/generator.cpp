@@ -7,6 +7,7 @@
 
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace rr::topo {
 
@@ -41,6 +42,53 @@ std::size_t tier_index(AsTier tier) noexcept {
 
 }  // namespace
 
+/// Flat records accumulated by the serial plan pass. Every RNG draw, every
+/// ID and every address is fixed here, in exactly the order the old
+/// all-in-one builder produced them; materialize() then expands the records
+/// into the heavyweight structures in parallel. Records, not structures,
+/// because records append O(1) with no per-entity allocation — the plan
+/// pass stays cheap enough that Amdahl leaves the expensive expansion to
+/// the pool.
+struct Generator::BuildPlan {
+  struct RouterRec {
+    AsId as = kNoAs;
+    bool border = false;
+  };
+  struct HostRec {
+    AsId as = kNoAs;
+    RouterId access = kNoRouter;
+    net::IPv4Address address;
+    net::Prefix prefix;
+    std::uint32_t alias_begin = 0;
+    std::uint32_t alias_count = 0;
+  };
+
+  std::vector<RouterRec> routers;
+  /// (router, address) in creation order; a router's first entry is its
+  /// loopback. Routers gain interfaces at several distinct moments (core
+  /// fan-out, then one interface per incident link), so the pairs are
+  /// grouped per router by a stable counting sort in materialize().
+  std::vector<std::pair<RouterId, net::IPv4Address>> interfaces;
+  std::vector<HostRec> hosts;
+  std::vector<net::IPv4Address> alias_arena;  // HostRec spans point here
+  /// Prefix-trie inserts in legacy insertion order.
+  std::vector<std::pair<net::Prefix, AsId>> prefixes;
+  /// Address-index inserts in legacy insertion order.
+  std::vector<std::pair<net::IPv4Address, AddressOwner>> owners;
+
+  RouterId add_router(AsId as, bool border, net::IPv4Address loopback) {
+    const RouterId id = static_cast<RouterId>(routers.size());
+    routers.push_back({as, border});
+    interfaces.emplace_back(id, loopback);
+    owners.push_back({loopback, {AddressOwner::Kind::kRouter, id}});
+    return id;
+  }
+  void add_interface(RouterId id, net::IPv4Address addr) {
+    interfaces.emplace_back(id, addr);
+    owners.push_back({addr, {AddressOwner::Kind::kRouter, id}});
+  }
+};
+
 struct Generator::AllocState {
   std::uint32_t next_block = 0x10000000;  // 16.0.0.0, grows upward
 
@@ -49,6 +97,7 @@ struct Generator::AllocState {
     std::uint32_t end = 0;
   };
   std::vector<Chunk> infra;  // per-AS current infrastructure /24 chunk
+  BuildPlan* plan = nullptr;
 
   net::Prefix alloc_slash24() {
     const net::Prefix prefix{net::IPv4Address{next_block}, 24};
@@ -57,12 +106,12 @@ struct Generator::AllocState {
   }
 
   /// Next unique infrastructure address for an AS, pulling fresh /24
-  /// chunks (registered to the AS in the LPM trie) as needed.
+  /// chunks (recorded for the AS in the LPM trie) as needed.
   net::IPv4Address infra_addr(Topology& topo, AsId as) {
     Chunk& chunk = infra[as];
     if (chunk.next >= chunk.end) {
       const net::Prefix block = alloc_slash24();
-      topo.address_to_as_.insert(block, as);
+      plan->prefixes.emplace_back(block, as);
       if (topo.ases_[as].infra_prefix.length() == 0) {
         topo.ases_[as].infra_prefix = block;
       }
@@ -77,22 +126,91 @@ std::shared_ptr<const Topology> Generator::generate() {
   auto topo = std::make_shared<Topology>();
   util::Rng rng{params_.seed};
   AllocState alloc;
+  BuildPlan plan;
+  alloc.plan = &plan;
 
+  // Serial plan: consumes the whole RNG stream in the fixed legacy order.
   assign_types_and_tiers(*topo, rng);
   select_site_ases(*topo, rng);
   alloc.infra.resize(topo->ases_.size());
   build_provider_links(*topo, rng);
   build_peering_links(*topo, rng);
-  build_routers(*topo, alloc, rng);
-  build_destinations(*topo, alloc, rng);
-  place_vantage_points(*topo, alloc, rng);
+  build_routers(*topo, plan, alloc, rng);
+  build_destinations(*topo, plan, alloc, rng);
+  place_vantage_points(*topo, plan, alloc, rng);
 
-  // Freeze the address services into the compiled forwarding plane; the
-  // topology is immutable from here on.
-  topo->compile();
+  // Parallel materialize + freeze. The thread count changes wall-clock
+  // time only; every byte of the result is fixed by the plan.
+  util::ThreadPool pool{util::resolve_thread_count(params_.threads)};
+  materialize(*topo, plan, pool);
+  topo->compile(pool);
 
   util::log_info() << "generated topology: " << topo->summary();
   return topo;
+}
+
+void Generator::materialize(Topology& topo, BuildPlan& plan,
+                            util::ThreadPool& pool) {
+  topo.assert_mutable();
+
+  // Group interface addresses by router with a stable counting sort: the
+  // per-router order equals plan order, which equals the order the legacy
+  // builder pushed them (loopback first).
+  const std::size_t n_routers = plan.routers.size();
+  std::vector<std::uint32_t> iface_offset(n_routers + 1, 0);
+  for (const auto& [rid, addr] : plan.interfaces) ++iface_offset[rid + 1];
+  std::partial_sum(iface_offset.begin(), iface_offset.end(),
+                   iface_offset.begin());
+  std::vector<net::IPv4Address> iface_arena(plan.interfaces.size());
+  {
+    std::vector<std::uint32_t> cursor(iface_offset.begin(),
+                                      iface_offset.end() - 1);
+    for (const auto& [rid, addr] : plan.interfaces) {
+      iface_arena[cursor[rid]++] = addr;
+    }
+  }
+
+  // Expand entities across the pool in disjoint index blocks.
+  constexpr std::size_t kBlock = 4096;
+  topo.routers_.resize(n_routers);
+  const std::size_t router_blocks = (n_routers + kBlock - 1) / kBlock;
+  pool.parallel_for(router_blocks, [&](std::size_t b) {
+    const std::size_t end = std::min(n_routers, (b + 1) * kBlock);
+    for (std::size_t r = b * kBlock; r < end; ++r) {
+      Router& out = topo.routers_[r];
+      out.as_id = plan.routers[r].as;
+      out.is_border = plan.routers[r].border;
+      out.interfaces.assign(iface_arena.begin() + iface_offset[r],
+                            iface_arena.begin() + iface_offset[r + 1]);
+      out.loopback = out.interfaces.front();
+    }
+  });
+
+  const std::size_t n_hosts = plan.hosts.size();
+  topo.hosts_.resize(n_hosts);
+  const std::size_t host_blocks = (n_hosts + kBlock - 1) / kBlock;
+  pool.parallel_for(host_blocks, [&](std::size_t b) {
+    const std::size_t end = std::min(n_hosts, (b + 1) * kBlock);
+    for (std::size_t h = b * kBlock; h < end; ++h) {
+      const BuildPlan::HostRec& rec = plan.hosts[h];
+      Host& out = topo.hosts_[h];
+      out.as_id = rec.as;
+      out.access_router = rec.access;
+      out.address = rec.address;
+      out.prefix = rec.prefix;
+      out.aliases.assign(
+          plan.alias_arena.begin() + rec.alias_begin,
+          plan.alias_arena.begin() + rec.alias_begin + rec.alias_count);
+    }
+  });
+
+  // The prefix trie is one pooled structure; replaying the records in plan
+  // order keeps even its node layout identical to the legacy interleaved
+  // build. The address index build is internally sharded and parallel.
+  for (const auto& [prefix, as] : plan.prefixes) {
+    topo.address_to_as_.insert(prefix, as);
+  }
+  topo.address_index_.build(plan.owners, pool);
 }
 
 void Generator::assign_types_and_tiers(Topology& topo, util::Rng& rng) {
@@ -515,30 +633,21 @@ void Generator::build_peering_links(Topology& topo, util::Rng& rng) {
   }
 }
 
-void Generator::build_routers(Topology& topo, AllocState& alloc,
-                              util::Rng& rng) {
+void Generator::build_routers(Topology& topo, BuildPlan& plan,
+                              AllocState& alloc, util::Rng& rng) {
   (void)rng;
+  topo.assert_mutable();
   auto new_router = [&](AsId as, bool border) {
-    Router router;
-    router.as_id = as;
-    router.is_border = border;
-    router.loopback = alloc.infra_addr(topo, as);
-    router.interfaces.push_back(router.loopback);
-    const RouterId id = static_cast<RouterId>(topo.routers_.size());
-    topo.routers_.push_back(std::move(router));
+    const RouterId id =
+        plan.add_router(as, border, alloc.infra_addr(topo, as));
     topo.ases_[as].routers.push_back(id);
-    topo.address_index_.insert(
-        topo.routers_[id].loopback,
-        AddressOwner{AddressOwner::Kind::kRouter, id});
     return id;
   };
 
   auto add_interface = [&](RouterId id) {
     const net::IPv4Address addr =
-        alloc.infra_addr(topo, topo.routers_[id].as_id);
-    topo.routers_[id].interfaces.push_back(addr);
-    topo.address_index_.insert(
-        addr, AddressOwner{AddressOwner::Kind::kRouter, id});
+        alloc.infra_addr(topo, plan.routers[id].as);
+    plan.add_interface(id, addr);
     return addr;
   };
 
@@ -560,7 +669,7 @@ void Generator::build_routers(Topology& topo, AllocState& alloc,
     AsInfo& info = topo.ases_[as];
     if (info.tier == AsTier::kStub) {
       const RouterId id = info.core.front();
-      topo.routers_[id].is_border = true;
+      plan.routers[id].border = true;
       return id;
     }
     return new_router(as, /*border=*/true);
@@ -575,24 +684,15 @@ void Generator::build_routers(Topology& topo, AllocState& alloc,
   }
 }
 
-void Generator::build_destinations(Topology& topo, AllocState& alloc,
-                                   util::Rng& rng) {
+void Generator::build_destinations(Topology& topo, BuildPlan& plan,
+                                   AllocState& alloc, util::Rng& rng) {
+  topo.assert_mutable();
   auto new_chain_router = [&](AsId as) {
-    Router router;
-    router.as_id = as;
-    router.loopback = alloc.infra_addr(topo, as);
-    router.interfaces.push_back(router.loopback);
-    const RouterId id = static_cast<RouterId>(topo.routers_.size());
-    topo.routers_.push_back(std::move(router));
+    const RouterId id =
+        plan.add_router(as, /*border=*/false, alloc.infra_addr(topo, as));
     topo.ases_[as].routers.push_back(id);
-    topo.address_index_.insert(
-        topo.routers_[id].loopback,
-        AddressOwner{AddressOwner::Kind::kRouter, id});
     // One downstream-facing interface besides the loopback.
-    const net::IPv4Address addr = alloc.infra_addr(topo, as);
-    topo.routers_[id].interfaces.push_back(addr);
-    topo.address_index_.insert(
-        addr, AddressOwner{AddressOwner::Kind::kRouter, id});
+    plan.add_interface(id, alloc.infra_addr(topo, as));
     return id;
   };
 
@@ -642,37 +742,41 @@ void Generator::build_destinations(Topology& topo, AllocState& alloc,
         shifted_geometric(rng, mean, params_.max_prefixes_per_as);
     for (int i = 0; i < count; ++i) {
       const net::Prefix block = alloc.alloc_slash24();
-      topo.address_to_as_.insert(block, as);
+      plan.prefixes.emplace_back(block, as);
 
-      Host host;
-      host.as_id = as;
-      host.access_router = access_router_for(as);
+      BuildPlan::HostRec host;
+      host.as = as;
+      host.access = access_router_for(as);
       host.address = block.address_at(1);
       host.prefix = block;
+      host.alias_begin = static_cast<std::uint32_t>(plan.alias_arena.size());
       if (rng.chance(params_.host_alias_fraction)) {
         const int aliases = static_cast<int>(
             rng.next_in(1, params_.max_host_aliases));
         for (int k = 0; k < aliases; ++k) {
-          host.aliases.push_back(block.address_at(2 + static_cast<std::uint64_t>(k)));
+          plan.alias_arena.push_back(
+              block.address_at(2 + static_cast<std::uint64_t>(k)));
         }
+        host.alias_count = static_cast<std::uint32_t>(aliases);
       }
 
-      const HostId host_id = static_cast<HostId>(topo.hosts_.size());
-      topo.hosts_.push_back(host);
+      const HostId host_id = static_cast<HostId>(plan.hosts.size());
+      plan.hosts.push_back(host);
       info.hosts.push_back(host_id);
       topo.destinations_.push_back(host_id);
-      topo.address_index_.insert(
-          host.address, AddressOwner{AddressOwner::Kind::kHost, host_id});
-      for (const auto& alias : host.aliases) {
-        topo.address_index_.insert(
-            alias, AddressOwner{AddressOwner::Kind::kHost, host_id});
+      plan.owners.push_back(
+          {host.address, {AddressOwner::Kind::kHost, host_id}});
+      for (std::uint32_t k = 0; k < host.alias_count; ++k) {
+        plan.owners.push_back({plan.alias_arena[host.alias_begin + k],
+                               {AddressOwner::Kind::kHost, host_id}});
       }
     }
   }
 }
 
-void Generator::place_vantage_points(Topology& topo, AllocState& alloc,
-                                     util::Rng& rng) {
+void Generator::place_vantage_points(Topology& topo, BuildPlan& plan,
+                                     AllocState& alloc, util::Rng& rng) {
+  topo.assert_mutable();
   // Attach a VP host to its hosting AS. `campus_depth` is the number of
   // extra routers between the AS core and the machine: M-Lab servers sit
   // in colo racks practically on the transit fabric (0); PlanetLab nodes
@@ -682,16 +786,9 @@ void Generator::place_vantage_points(Topology& topo, AllocState& alloc,
     const RouterId core = info.core[rng.next_below(info.core.size())];
 
     auto new_router = [&](AsId owner_as) {
-      Router router;
-      router.as_id = owner_as;
-      router.loopback = alloc.infra_addr(topo, owner_as);
-      router.interfaces.push_back(router.loopback);
-      const RouterId id = static_cast<RouterId>(topo.routers_.size());
-      topo.routers_.push_back(std::move(router));
+      const RouterId id = plan.add_router(owner_as, /*border=*/false,
+                                          alloc.infra_addr(topo, owner_as));
       topo.ases_[owner_as].routers.push_back(id);
-      topo.address_index_.insert(
-          topo.routers_[id].loopback,
-          AddressOwner{AddressOwner::Kind::kRouter, id});
       return id;
     };
 
@@ -702,15 +799,16 @@ void Generator::place_vantage_points(Topology& topo, AllocState& alloc,
       topo.access_chain_.emplace(access, chain);
     }
 
-    Host host;
-    host.as_id = as;
-    host.access_router = access;
+    BuildPlan::HostRec host;
+    host.as = as;
+    host.access = access;
     host.address = alloc.infra_addr(topo, as);
     host.prefix = topo.ases_[as].infra_prefix;
-    const HostId host_id = static_cast<HostId>(topo.hosts_.size());
-    topo.hosts_.push_back(host);
-    topo.address_index_.insert(
-        host.address, AddressOwner{AddressOwner::Kind::kHost, host_id});
+    host.alias_begin = static_cast<std::uint32_t>(plan.alias_arena.size());
+    const HostId host_id = static_cast<HostId>(plan.hosts.size());
+    plan.hosts.push_back(host);
+    plan.owners.push_back(
+        {host.address, {AddressOwner::Kind::kHost, host_id}});
     return host_id;
   };
 

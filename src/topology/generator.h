@@ -5,7 +5,15 @@
 // (cores, borders, access chains), the address plan, destination hosts (one
 // per advertised prefix), vantage points and cloud providers.
 //
-// The same seed always yields the same Internet, byte for byte.
+// The same seed always yields the same Internet, byte for byte — at any
+// thread count. Generation is split into a serial *plan* pass, which makes
+// every RNG draw, ID assignment and address allocation in one fixed order
+// and records them as flat arrays, and a *materialize* pass that expands
+// those records into the heavyweight per-entity structures (router
+// interface sets, host alias sets, the address index) across a
+// util::ThreadPool. Each worker owns a disjoint index range and the merged
+// result is a pure function of the plan, so threads only change wall-clock
+// time, never a byte of the output.
 #pragma once
 
 #include <memory>
@@ -14,25 +22,40 @@
 #include "topology/topology.h"
 #include "util/rng.h"
 
+namespace rr::util {
+class ThreadPool;
+}  // namespace rr::util
+
 namespace rr::topo {
 
 class Generator {
  public:
   explicit Generator(TopologyParams params) : params_(params) {}
 
-  /// Generates the full topology. Call once.
+  /// Generates the full topology. Call once. Builds into a mutable local
+  /// Topology, freezes it (compile()), and hands out a const handle; debug
+  /// builds assert that no mutation path runs after the freeze.
   [[nodiscard]] std::shared_ptr<const Topology> generate();
 
  private:
   struct AllocState;
+  struct BuildPlan;
 
   void assign_types_and_tiers(Topology& topo, util::Rng& rng);
   void select_site_ases(Topology& topo, util::Rng& rng);
   void build_provider_links(Topology& topo, util::Rng& rng);
   void build_peering_links(Topology& topo, util::Rng& rng);
-  void build_routers(Topology& topo, AllocState& alloc, util::Rng& rng);
-  void build_destinations(Topology& topo, AllocState& alloc, util::Rng& rng);
-  void place_vantage_points(Topology& topo, AllocState& alloc, util::Rng& rng);
+  void build_routers(Topology& topo, BuildPlan& plan, AllocState& alloc,
+                     util::Rng& rng);
+  void build_destinations(Topology& topo, BuildPlan& plan, AllocState& alloc,
+                          util::Rng& rng);
+  void place_vantage_points(Topology& topo, BuildPlan& plan,
+                            AllocState& alloc, util::Rng& rng);
+
+  /// Expands the plan's flat records into routers_, hosts_, the prefix
+  /// trie and the address index. Parallel over disjoint index ranges;
+  /// bit-identical at any thread count.
+  void materialize(Topology& topo, BuildPlan& plan, util::ThreadPool& pool);
 
   TopologyParams params_;
 

@@ -18,6 +18,11 @@ namespace rr::topo {
 struct TopologyParams {
   std::uint64_t seed = 20160924;  // RouteViews snapshot date in the paper
 
+  /// Worker threads for the materialize/compile phases (0 = resolve from
+  /// RROPT_THREADS / hardware concurrency). The generated topology is
+  /// bit-identical at every thread count; this only affects wall-clock.
+  int threads = 0;
+
   // ------------------------------------------------------------------ scale
   int num_ases = 5200;
 

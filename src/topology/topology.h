@@ -13,6 +13,7 @@
 // loads with no per-call allocation. See DESIGN.md §8.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -24,6 +25,10 @@
 #include "netbase/lpm_trie.h"
 #include "topology/address_index.h"
 #include "topology/types.h"
+
+namespace rr::util {
+class ThreadPool;
+}  // namespace rr::util
 
 namespace rr::topo {
 
@@ -135,9 +140,20 @@ class Topology {
 
   /// Freezes the generated world into the compiled forwarding plane:
   /// flattens the prefix trie, caches the per-epoch VP lists, and builds
-  /// the host-alias arena. Called once at the end of generation; queries
-  /// before compile() see empty flat structures.
-  void compile();
+  /// the host-alias arena — each block-parallel across `pool` with
+  /// per-shard results merged in index order, so the compiled bytes are
+  /// identical at any thread count. Called once at the end of generation;
+  /// queries before compile() see empty flat structures. Sets `frozen_`:
+  /// debug builds assert no generator mutation path runs afterwards.
+  void compile(util::ThreadPool& pool);
+
+  /// Generator-side guard: every mutation phase asserts the topology has
+  /// not been frozen by compile() yet.
+  void assert_mutable() const noexcept {
+#ifndef NDEBUG
+    assert(!frozen_);
+#endif
+  }
 
   std::vector<AsInfo> ases_;
   std::vector<Router> routers_;
@@ -162,6 +178,8 @@ class Topology {
   static constexpr std::uint32_t kNoAliasEntry = 0xffff'ffffu;
   std::vector<std::uint32_t> host_alias_offset_;
   std::vector<net::IPv4Address> host_alias_arena_;  // [addr, aliases...] runs
+  /// Set by compile(); generation is over and the object is immutable.
+  bool frozen_ = false;
 };
 
 }  // namespace rr::topo

@@ -16,10 +16,28 @@
 namespace rr::util {
 
 /// splitmix64 step: used for seeding and for cheap stateless hashing.
-[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+/// Inline: the simulator hashes flow keys with this billions of times per
+/// census, and an out-of-line call costs more than the mix itself.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// Stateless 64-bit mix of a value (one splitmix64 round).
-[[nodiscard]] std::uint64_t mix64(std::uint64_t value) noexcept;
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t value) noexcept {
+  std::uint64_t s = value;
+  return splitmix64(s);
+}
+
+namespace detail {
+[[nodiscard]] constexpr std::uint64_t rotl64(std::uint64_t x,
+                                             int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace detail
 
 /// Deterministic xoshiro256** generator.
 ///
@@ -39,20 +57,49 @@ class Rng {
   }
 
   /// Next raw 64 bits.
-  result_type operator()() noexcept;
+  result_type operator()() noexcept {
+    const std::uint64_t result = detail::rotl64(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = detail::rotl64(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). Requires bound > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
-  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;  // defensive; callers must pass bound > 0
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+      while (low < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Uniform double in [0, 1).
-  [[nodiscard]] double next_double() noexcept;
+  [[nodiscard]] double next_double() noexcept {
+    // 53 random bits scaled into [0,1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli draw: true with probability p (clamped to [0,1]).
-  [[nodiscard]] bool chance(double p) noexcept;
+  [[nodiscard]] bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
 
   /// Exponentially distributed double with the given mean (> 0).
   [[nodiscard]] double next_exponential(double mean) noexcept;

@@ -4,8 +4,10 @@
 // token buckets) is replayed serially in a canonical order.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
+#include "data/dataset.h"
 #include "measure/campaign.h"
 #include "measure/testbed.h"
 #include "sim/token_bucket.h"
@@ -167,6 +169,43 @@ TEST(CampaignDeterminism, FaultedContentsIdenticalAcrossThreadCounts) {
         << threads << " threads";
     EXPECT_EQ(serial_counters.dropped_rate_limit, c.dropped_rate_limit)
         << threads << " threads";
+  }
+}
+
+// End-to-end freeze of the tentpole contract: the *frozen dataset bytes* —
+// not just in-memory contents — are identical when both the world build
+// and the campaign run at 1, 2, or 8 worker threads, and that holds for
+// every streaming block size. (Different block sizes produce different
+// datasets by design — block-major probe order — so the hash is compared
+// within a block size, never across.)
+TEST(CampaignDeterminism, DatasetHashIdenticalAcrossThreadsPerStreamBlock) {
+  for (const std::size_t stream_block : {std::size_t{0}, std::size_t{7}}) {
+    std::uint64_t reference = 0;
+    bool have_reference = false;
+    for (const int threads : {1, 2, 8}) {
+      TestbedConfig config;
+      config.topo_params = topo::TopologyParams::test_scale();
+      config.topo_params.seed = 7;
+      config.topo_params.threads = threads;  // parallel world build too
+      config.threads = threads;
+      Testbed testbed{config};
+
+      CampaignConfig campaign_config;
+      campaign_config.threads = threads;
+      campaign_config.stream_block = stream_block;
+      auto campaign = Campaign::run(testbed, campaign_config);
+      const std::uint64_t hash =
+          data::CampaignDataset::from_campaign(std::move(campaign),
+                                               "thread-identity probe")
+              .content_hash();
+      if (!have_reference) {
+        reference = hash;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(reference, hash)
+            << threads << " threads, stream_block " << stream_block;
+      }
+    }
   }
 }
 

@@ -151,5 +151,126 @@ TEST_P(GeneratedWorld, CloudsPeerFarMoreThanOrdinaryContent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedWorld,
                          ::testing::Values(1, 2, 3, 42, 20160924));
 
+// ------------------------------------------------- thread-count identity
+
+std::uint64_t fnv(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv_str(std::uint64_t hash, const std::string& s) {
+  hash = fnv(hash, s.size());
+  for (const char c : s) hash = fnv(hash, static_cast<std::uint8_t>(c));
+  return hash;
+}
+
+/// Hashes every observable structure of a generated world, including the
+/// compiled forwarding plane (flat LPM answers, alias arena views, the
+/// address index): if any byte of the generation or freeze depended on the
+/// worker count, some field below would differ.
+std::uint64_t world_fingerprint(const Topology& topo) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& as : topo.ases()) {
+    h = fnv(h, as.asn);
+    h = fnv(h, static_cast<std::uint64_t>(as.type));
+    h = fnv(h, static_cast<std::uint64_t>(as.tier));
+    h = fnv(h, as.depth);
+    h = fnv(h, (std::uint64_t{as.colo_presence} << 1) | as.cloud);
+    h = fnv(h, as.internal_hops);
+    for (const LinkId link : as.links) h = fnv(h, link);
+    for (const RouterId r : as.routers) h = fnv(h, r);
+    for (const RouterId r : as.core) h = fnv(h, r);
+    for (const HostId host : as.hosts) h = fnv(h, host);
+    h = fnv(h, as.infra_prefix.base().value());
+    h = fnv(h, as.infra_prefix.length());
+  }
+  for (const auto& router : topo.routers()) {
+    h = fnv(h, router.as_id);
+    h = fnv(h, router.loopback.value());
+    h = fnv(h, router.is_border);
+    for (const auto addr : router.interfaces) h = fnv(h, addr.value());
+    // Compiled services must agree with the structures: device ownership
+    // and the ground-truth alias view of the loopback.
+    const auto owner = topo.owner_of(router.loopback);
+    h = fnv(h, owner ? static_cast<std::uint64_t>(owner->kind) + 1 : 0);
+    h = fnv(h, owner ? owner->id : kNoRouter);
+    for (const auto addr : topo.aliases_of(router.loopback)) {
+      h = fnv(h, addr.value());
+    }
+  }
+  for (const auto& host : topo.hosts()) {
+    h = fnv(h, host.as_id);
+    h = fnv(h, host.access_router);
+    h = fnv(h, host.address.value());
+    h = fnv(h, host.prefix.base().value());
+    h = fnv(h, host.prefix.length());
+    for (const auto addr : host.aliases) h = fnv(h, addr.value());
+    for (const auto addr : topo.aliases_of(host.address)) {
+      h = fnv(h, addr.value());
+    }
+    const auto as = topo.as_of_address(host.address);
+    h = fnv(h, as ? std::uint64_t{*as} + 1 : 0);
+    for (const RouterId r : topo.access_chain(host.access_router)) {
+      h = fnv(h, r);
+    }
+  }
+  for (const auto& link : topo.links()) {
+    h = fnv(h, link.a);
+    h = fnv(h, link.b);
+    h = fnv(h, static_cast<std::uint64_t>(link.kind));
+    h = fnv(h, link.exists_in_2011);
+    h = fnv(h, link.router_a);
+    h = fnv(h, link.router_b);
+    h = fnv(h, link.addr_a.value());
+    h = fnv(h, link.addr_b.value());
+  }
+  for (const auto& vp : topo.vantage_points()) {
+    h = fnv(h, vp.host);
+    h = fnv(h, static_cast<std::uint64_t>(vp.platform));
+    h = fnv_str(h, vp.site);
+    h = fnv(h, (std::uint64_t{vp.exists_in_2011} << 1) | vp.exists_in_2016);
+  }
+  for (const Epoch epoch : {Epoch::k2011, Epoch::k2016}) {
+    for (const auto* vp : topo.vantage_points_in(epoch)) {
+      h = fnv(h, vp->host);
+    }
+  }
+  for (const auto& cloud : topo.clouds()) {
+    h = fnv_str(h, cloud.name);
+    h = fnv(h, cloud.as_id);
+    h = fnv(h, cloud.probe_host);
+  }
+  for (const HostId dest : topo.destinations()) h = fnv(h, dest);
+  h = fnv(h, topo.probe_host());
+  return h;
+}
+
+// The tentpole contract of the parallel world build: generation and the
+// compile() freeze are bit-identical at every worker-thread count. A
+// failure here means some materialize/compile shard leaked its schedule
+// into the output.
+TEST(GeneratorThreads, WorldBitIdenticalAcrossThreadCounts) {
+  std::uint64_t reference = 0;
+  bool have_reference = false;
+  for (const int threads : {1, 2, 8}) {
+    TopologyParams params = TopologyParams::test_scale();
+    params.seed = 20160924;
+    params.threads = threads;
+    Generator generator{params};
+    const auto topo = generator.generate();
+    const std::uint64_t fingerprint = world_fingerprint(*topo);
+    if (!have_reference) {
+      reference = fingerprint;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(reference, fingerprint)
+          << "world differs at " << threads << " threads";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rr::topo

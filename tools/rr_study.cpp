@@ -3,7 +3,7 @@
 //
 //   rr-study [--scale paper] [--ases N] [--seed S] [--epoch 2011|2016]
 //            [--stride K] [--pps R] [--fib on|off] [--stream-block B]
-//            [--fault-plan SPEC] [--out study.rrds]
+//            [--mem-budget-mib M] [--fault-plan SPEC] [--out study.rrds]
 //
 // The dataset can then be re-analyzed offline with rr-analyze.
 #include <cstdio>
@@ -38,6 +38,11 @@ int main(int argc, char** argv) {
         "               streaming campaign: process destinations in blocks\n"
         "               of B with a per-block forwarding table (0 = one\n"
         "               block over the whole census)\n"
+        "  --mem-budget-mib M\n"
+        "               size the streaming block from a per-block resident\n"
+        "               memory budget instead (overridden by an explicit\n"
+        "               --stream-block; note the resolved block size shapes\n"
+        "               dataset contents)\n"
         "  --fault-plan SPEC\n"
         "               deterministic fault injection: 'none', a uniform\n"
         "               rate ('0.01'), or knobs ('rr_garble=0.1,storm=0.05,\n"
@@ -74,8 +79,21 @@ int main(int argc, char** argv) {
   campaign_config.vp_pps = flags.get_double("pps", 20.0);
   campaign_config.threads = static_cast<int>(flags.get_int("threads", 0));
   campaign_config.use_compiled_fib = flags.get("fib", "on") != "off";
-  campaign_config.stream_block =
-      static_cast<std::size_t>(flags.get_int("stream-block", 0));
+  if (const long budget = flags.get_int("mem-budget-mib", 0); budget > 0) {
+    // Adaptive streaming: size the block from a per-block memory budget.
+    // The resolved size shapes dataset contents (block-major probe order),
+    // so budget runs only hash-compare at equal resolved sizes.
+    campaign_config.stream_block =
+        measure::CampaignConfig::stream_block_for_budget(
+            static_cast<std::size_t>(budget),
+            testbed.topology().vantage_points().size());
+    std::fprintf(stderr, "mem budget %ld MiB -> stream block %zu\n", budget,
+                 campaign_config.stream_block);
+  }
+  if (flags.has("stream-block")) {
+    campaign_config.stream_block =
+        static_cast<std::size_t>(flags.get_int("stream-block", 0));
+  }
   const std::string fault_spec = flags.get("fault-plan", "none");
   const auto faults = sim::parse_fault_plan(fault_spec);
   if (!faults) {
@@ -86,7 +104,7 @@ int main(int argc, char** argv) {
   if (faults->any()) {
     std::fprintf(stderr, "%s\n", sim::to_string(*faults).c_str());
   }
-  const auto campaign = measure::Campaign::run(testbed, campaign_config);
+  auto campaign = measure::Campaign::run(testbed, campaign_config);
   if (faults->any()) {
     const auto& injected = testbed.network().fault_counters();
     std::fprintf(stderr, "injected faults: %llu total\n",
@@ -106,8 +124,10 @@ int main(int argc, char** argv) {
               util::percent(table.by_ip[0].rr_over_ping()).c_str());
 
   const std::string out_path = flags.get("out", "study.rrds");
+  // Move the observation matrix into the dataset — at census scale the
+  // copy would transiently double the largest allocation in the run.
   const auto dataset = data::CampaignDataset::from_campaign(
-      campaign, "rr-study epoch=" + flags.get("epoch", "2016"));
+      std::move(campaign), "rr-study epoch=" + flags.get("epoch", "2016"));
   if (!dataset.save(out_path)) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
