@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_as_stamping"
+  "../bench/bench_as_stamping.pdb"
+  "CMakeFiles/bench_as_stamping.dir/bench_as_stamping.cpp.o"
+  "CMakeFiles/bench_as_stamping.dir/bench_as_stamping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_as_stamping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_faults"
+  "../bench/bench_faults.pdb"
+  "CMakeFiles/bench_faults.dir/bench_faults.cpp.o"
+  "CMakeFiles/bench_faults.dir/bench_faults.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reclassify"
+  "../bench/bench_reclassify.pdb"
+  "CMakeFiles/bench_reclassify.dir/bench_reclassify.cpp.o"
+  "CMakeFiles/bench_reclassify.dir/bench_reclassify.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reclassify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

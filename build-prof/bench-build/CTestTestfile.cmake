@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-prof/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(BenchSmoke.MicroOnePass "/root/repo/build-prof/bench/bench_micro" "--benchmark_min_time=0.001")
+set_tests_properties(BenchSmoke.MicroOnePass PROPERTIES  LABELS "tier2" WORKING_DIRECTORY "/root/repo/build-prof/bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")

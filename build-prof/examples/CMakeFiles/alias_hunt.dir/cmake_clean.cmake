@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_hunt.dir/alias_hunt.cpp.o"
+  "CMakeFiles/alias_hunt.dir/alias_hunt.cpp.o.d"
+  "alias_hunt"
+  "alias_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

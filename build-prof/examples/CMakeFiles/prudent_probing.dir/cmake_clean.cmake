@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prudent_probing.dir/prudent_probing.cpp.o"
+  "CMakeFiles/prudent_probing.dir/prudent_probing.cpp.o.d"
+  "prudent_probing"
+  "prudent_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prudent_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

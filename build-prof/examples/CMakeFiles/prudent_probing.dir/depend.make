@@ -1,0 +1,2 @@
+# Empty dependencies file for prudent_probing.
+# This may be replaced when dependencies are built.

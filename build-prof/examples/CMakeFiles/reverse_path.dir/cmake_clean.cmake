@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_path.dir/reverse_path.cpp.o"
+  "CMakeFiles/reverse_path.dir/reverse_path.cpp.o.d"
+  "reverse_path"
+  "reverse_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_traceroute_demo.dir/reverse_traceroute_demo.cpp.o"
+  "CMakeFiles/reverse_traceroute_demo.dir/reverse_traceroute_demo.cpp.o.d"
+  "reverse_traceroute_demo"
+  "reverse_traceroute_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_traceroute_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

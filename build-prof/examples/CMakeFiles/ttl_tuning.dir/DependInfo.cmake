@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ttl_tuning.cpp" "examples/CMakeFiles/ttl_tuning.dir/ttl_tuning.cpp.o" "gcc" "examples/CMakeFiles/ttl_tuning.dir/ttl_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/revtr/CMakeFiles/rr_revtr.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/measure/CMakeFiles/rr_measure.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/probe/CMakeFiles/rr_probe.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/sim/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/routing/CMakeFiles/rr_routing.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/topology/CMakeFiles/rr_topology.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/packet/CMakeFiles/rr_packet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/netbase/CMakeFiles/rr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/analysis/CMakeFiles/rr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttl_tuning.dir/ttl_tuning.cpp.o"
+  "CMakeFiles/ttl_tuning.dir/ttl_tuning.cpp.o.d"
+  "ttl_tuning"
+  "ttl_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttl_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

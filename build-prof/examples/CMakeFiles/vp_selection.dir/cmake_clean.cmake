@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_selection.dir/vp_selection.cpp.o"
+  "CMakeFiles/vp_selection.dir/vp_selection.cpp.o.d"
+  "vp_selection"
+  "vp_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

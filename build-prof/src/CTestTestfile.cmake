@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-prof/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netbase")
+subdirs("packet")
+subdirs("topology")
+subdirs("routing")
+subdirs("sim")
+subdirs("probe")
+subdirs("measure")
+subdirs("revtr")
+subdirs("data")
+subdirs("analysis")

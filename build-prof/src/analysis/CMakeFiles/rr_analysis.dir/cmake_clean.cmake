@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_analysis.dir/series.cpp.o"
+  "CMakeFiles/rr_analysis.dir/series.cpp.o.d"
+  "CMakeFiles/rr_analysis.dir/table.cpp.o"
+  "CMakeFiles/rr_analysis.dir/table.cpp.o.d"
+  "librr_analysis.a"
+  "librr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_data.dir/dataset.cpp.o"
+  "CMakeFiles/rr_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/rr_data.dir/jsonl.cpp.o"
+  "CMakeFiles/rr_data.dir/jsonl.cpp.o.d"
+  "librr_data.a"
+  "librr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

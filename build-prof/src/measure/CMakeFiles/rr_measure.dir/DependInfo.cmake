@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/as_stamping.cpp" "src/measure/CMakeFiles/rr_measure.dir/as_stamping.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/as_stamping.cpp.o.d"
+  "/root/repo/src/measure/campaign.cpp" "src/measure/CMakeFiles/rr_measure.dir/campaign.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/campaign.cpp.o.d"
+  "/root/repo/src/measure/classify.cpp" "src/measure/CMakeFiles/rr_measure.dir/classify.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/classify.cpp.o.d"
+  "/root/repo/src/measure/cloud.cpp" "src/measure/CMakeFiles/rr_measure.dir/cloud.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/cloud.cpp.o.d"
+  "/root/repo/src/measure/figures.cpp" "src/measure/CMakeFiles/rr_measure.dir/figures.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/figures.cpp.o.d"
+  "/root/repo/src/measure/midar.cpp" "src/measure/CMakeFiles/rr_measure.dir/midar.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/midar.cpp.o.d"
+  "/root/repo/src/measure/ratelimit.cpp" "src/measure/CMakeFiles/rr_measure.dir/ratelimit.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/ratelimit.cpp.o.d"
+  "/root/repo/src/measure/reachability.cpp" "src/measure/CMakeFiles/rr_measure.dir/reachability.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/reachability.cpp.o.d"
+  "/root/repo/src/measure/reclassify.cpp" "src/measure/CMakeFiles/rr_measure.dir/reclassify.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/reclassify.cpp.o.d"
+  "/root/repo/src/measure/testbed.cpp" "src/measure/CMakeFiles/rr_measure.dir/testbed.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/testbed.cpp.o.d"
+  "/root/repo/src/measure/ttl_study.cpp" "src/measure/CMakeFiles/rr_measure.dir/ttl_study.cpp.o" "gcc" "src/measure/CMakeFiles/rr_measure.dir/ttl_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/probe/CMakeFiles/rr_probe.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/sim/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/routing/CMakeFiles/rr_routing.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/topology/CMakeFiles/rr_topology.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/analysis/CMakeFiles/rr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/packet/CMakeFiles/rr_packet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/netbase/CMakeFiles/rr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

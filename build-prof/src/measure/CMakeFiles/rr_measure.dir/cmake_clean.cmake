@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_measure.dir/as_stamping.cpp.o"
+  "CMakeFiles/rr_measure.dir/as_stamping.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/campaign.cpp.o"
+  "CMakeFiles/rr_measure.dir/campaign.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/classify.cpp.o"
+  "CMakeFiles/rr_measure.dir/classify.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/cloud.cpp.o"
+  "CMakeFiles/rr_measure.dir/cloud.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/figures.cpp.o"
+  "CMakeFiles/rr_measure.dir/figures.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/midar.cpp.o"
+  "CMakeFiles/rr_measure.dir/midar.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/ratelimit.cpp.o"
+  "CMakeFiles/rr_measure.dir/ratelimit.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/reachability.cpp.o"
+  "CMakeFiles/rr_measure.dir/reachability.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/reclassify.cpp.o"
+  "CMakeFiles/rr_measure.dir/reclassify.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/testbed.cpp.o"
+  "CMakeFiles/rr_measure.dir/testbed.cpp.o.d"
+  "CMakeFiles/rr_measure.dir/ttl_study.cpp.o"
+  "CMakeFiles/rr_measure.dir/ttl_study.cpp.o.d"
+  "librr_measure.a"
+  "librr_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

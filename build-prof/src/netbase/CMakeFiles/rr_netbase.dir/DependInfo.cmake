@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/address.cpp" "src/netbase/CMakeFiles/rr_netbase.dir/address.cpp.o" "gcc" "src/netbase/CMakeFiles/rr_netbase.dir/address.cpp.o.d"
+  "/root/repo/src/netbase/byte_io.cpp" "src/netbase/CMakeFiles/rr_netbase.dir/byte_io.cpp.o" "gcc" "src/netbase/CMakeFiles/rr_netbase.dir/byte_io.cpp.o.d"
+  "/root/repo/src/netbase/checksum.cpp" "src/netbase/CMakeFiles/rr_netbase.dir/checksum.cpp.o" "gcc" "src/netbase/CMakeFiles/rr_netbase.dir/checksum.cpp.o.d"
+  "/root/repo/src/netbase/flat_lpm.cpp" "src/netbase/CMakeFiles/rr_netbase.dir/flat_lpm.cpp.o" "gcc" "src/netbase/CMakeFiles/rr_netbase.dir/flat_lpm.cpp.o.d"
+  "/root/repo/src/netbase/lpm_trie.cpp" "src/netbase/CMakeFiles/rr_netbase.dir/lpm_trie.cpp.o" "gcc" "src/netbase/CMakeFiles/rr_netbase.dir/lpm_trie.cpp.o.d"
+  "/root/repo/src/netbase/prefix.cpp" "src/netbase/CMakeFiles/rr_netbase.dir/prefix.cpp.o" "gcc" "src/netbase/CMakeFiles/rr_netbase.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

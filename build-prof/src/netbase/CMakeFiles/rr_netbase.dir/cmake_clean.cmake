@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_netbase.dir/address.cpp.o"
+  "CMakeFiles/rr_netbase.dir/address.cpp.o.d"
+  "CMakeFiles/rr_netbase.dir/byte_io.cpp.o"
+  "CMakeFiles/rr_netbase.dir/byte_io.cpp.o.d"
+  "CMakeFiles/rr_netbase.dir/checksum.cpp.o"
+  "CMakeFiles/rr_netbase.dir/checksum.cpp.o.d"
+  "CMakeFiles/rr_netbase.dir/flat_lpm.cpp.o"
+  "CMakeFiles/rr_netbase.dir/flat_lpm.cpp.o.d"
+  "CMakeFiles/rr_netbase.dir/lpm_trie.cpp.o"
+  "CMakeFiles/rr_netbase.dir/lpm_trie.cpp.o.d"
+  "CMakeFiles/rr_netbase.dir/prefix.cpp.o"
+  "CMakeFiles/rr_netbase.dir/prefix.cpp.o.d"
+  "librr_netbase.a"
+  "librr_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

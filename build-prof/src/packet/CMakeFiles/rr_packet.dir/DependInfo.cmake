@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/datagram.cpp" "src/packet/CMakeFiles/rr_packet.dir/datagram.cpp.o" "gcc" "src/packet/CMakeFiles/rr_packet.dir/datagram.cpp.o.d"
+  "/root/repo/src/packet/icmp.cpp" "src/packet/CMakeFiles/rr_packet.dir/icmp.cpp.o" "gcc" "src/packet/CMakeFiles/rr_packet.dir/icmp.cpp.o.d"
+  "/root/repo/src/packet/ipv4.cpp" "src/packet/CMakeFiles/rr_packet.dir/ipv4.cpp.o" "gcc" "src/packet/CMakeFiles/rr_packet.dir/ipv4.cpp.o.d"
+  "/root/repo/src/packet/mutate.cpp" "src/packet/CMakeFiles/rr_packet.dir/mutate.cpp.o" "gcc" "src/packet/CMakeFiles/rr_packet.dir/mutate.cpp.o.d"
+  "/root/repo/src/packet/options.cpp" "src/packet/CMakeFiles/rr_packet.dir/options.cpp.o" "gcc" "src/packet/CMakeFiles/rr_packet.dir/options.cpp.o.d"
+  "/root/repo/src/packet/udp.cpp" "src/packet/CMakeFiles/rr_packet.dir/udp.cpp.o" "gcc" "src/packet/CMakeFiles/rr_packet.dir/udp.cpp.o.d"
+  "/root/repo/src/packet/wire.cpp" "src/packet/CMakeFiles/rr_packet.dir/wire.cpp.o" "gcc" "src/packet/CMakeFiles/rr_packet.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/netbase/CMakeFiles/rr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

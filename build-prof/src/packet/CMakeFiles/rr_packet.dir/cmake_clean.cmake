@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_packet.dir/datagram.cpp.o"
+  "CMakeFiles/rr_packet.dir/datagram.cpp.o.d"
+  "CMakeFiles/rr_packet.dir/icmp.cpp.o"
+  "CMakeFiles/rr_packet.dir/icmp.cpp.o.d"
+  "CMakeFiles/rr_packet.dir/ipv4.cpp.o"
+  "CMakeFiles/rr_packet.dir/ipv4.cpp.o.d"
+  "CMakeFiles/rr_packet.dir/mutate.cpp.o"
+  "CMakeFiles/rr_packet.dir/mutate.cpp.o.d"
+  "CMakeFiles/rr_packet.dir/options.cpp.o"
+  "CMakeFiles/rr_packet.dir/options.cpp.o.d"
+  "CMakeFiles/rr_packet.dir/udp.cpp.o"
+  "CMakeFiles/rr_packet.dir/udp.cpp.o.d"
+  "CMakeFiles/rr_packet.dir/wire.cpp.o"
+  "CMakeFiles/rr_packet.dir/wire.cpp.o.d"
+  "librr_packet.a"
+  "librr_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_probe.dir/prober.cpp.o"
+  "CMakeFiles/rr_probe.dir/prober.cpp.o.d"
+  "librr_probe.a"
+  "librr_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

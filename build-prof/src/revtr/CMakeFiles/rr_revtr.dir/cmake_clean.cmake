@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_revtr.dir/reverse_traceroute.cpp.o"
+  "CMakeFiles/rr_revtr.dir/reverse_traceroute.cpp.o.d"
+  "librr_revtr.a"
+  "librr_revtr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_revtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

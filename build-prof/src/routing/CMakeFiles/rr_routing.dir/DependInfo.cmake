@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bgp.cpp" "src/routing/CMakeFiles/rr_routing.dir/bgp.cpp.o" "gcc" "src/routing/CMakeFiles/rr_routing.dir/bgp.cpp.o.d"
+  "/root/repo/src/routing/fib.cpp" "src/routing/CMakeFiles/rr_routing.dir/fib.cpp.o" "gcc" "src/routing/CMakeFiles/rr_routing.dir/fib.cpp.o.d"
+  "/root/repo/src/routing/oracle.cpp" "src/routing/CMakeFiles/rr_routing.dir/oracle.cpp.o" "gcc" "src/routing/CMakeFiles/rr_routing.dir/oracle.cpp.o.d"
+  "/root/repo/src/routing/path_cache.cpp" "src/routing/CMakeFiles/rr_routing.dir/path_cache.cpp.o" "gcc" "src/routing/CMakeFiles/rr_routing.dir/path_cache.cpp.o.d"
+  "/root/repo/src/routing/stitcher.cpp" "src/routing/CMakeFiles/rr_routing.dir/stitcher.cpp.o" "gcc" "src/routing/CMakeFiles/rr_routing.dir/stitcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/topology/CMakeFiles/rr_topology.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/netbase/CMakeFiles/rr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_routing.dir/bgp.cpp.o"
+  "CMakeFiles/rr_routing.dir/bgp.cpp.o.d"
+  "CMakeFiles/rr_routing.dir/fib.cpp.o"
+  "CMakeFiles/rr_routing.dir/fib.cpp.o.d"
+  "CMakeFiles/rr_routing.dir/oracle.cpp.o"
+  "CMakeFiles/rr_routing.dir/oracle.cpp.o.d"
+  "CMakeFiles/rr_routing.dir/path_cache.cpp.o"
+  "CMakeFiles/rr_routing.dir/path_cache.cpp.o.d"
+  "CMakeFiles/rr_routing.dir/stitcher.cpp.o"
+  "CMakeFiles/rr_routing.dir/stitcher.cpp.o.d"
+  "librr_routing.a"
+  "librr_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/behavior.cpp" "src/sim/CMakeFiles/rr_sim.dir/behavior.cpp.o" "gcc" "src/sim/CMakeFiles/rr_sim.dir/behavior.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/rr_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/rr_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/rr_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/rr_sim.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/routing/CMakeFiles/rr_routing.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/packet/CMakeFiles/rr_packet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/topology/CMakeFiles/rr_topology.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/netbase/CMakeFiles/rr_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_sim.dir/behavior.cpp.o"
+  "CMakeFiles/rr_sim.dir/behavior.cpp.o.d"
+  "CMakeFiles/rr_sim.dir/fault.cpp.o"
+  "CMakeFiles/rr_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/rr_sim.dir/network.cpp.o"
+  "CMakeFiles/rr_sim.dir/network.cpp.o.d"
+  "librr_sim.a"
+  "librr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_topology.dir/address_index.cpp.o"
+  "CMakeFiles/rr_topology.dir/address_index.cpp.o.d"
+  "CMakeFiles/rr_topology.dir/generator.cpp.o"
+  "CMakeFiles/rr_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/rr_topology.dir/topology.cpp.o"
+  "CMakeFiles/rr_topology.dir/topology.cpp.o.d"
+  "librr_topology.a"
+  "librr_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_util.dir/flags.cpp.o"
+  "CMakeFiles/rr_util.dir/flags.cpp.o.d"
+  "CMakeFiles/rr_util.dir/log.cpp.o"
+  "CMakeFiles/rr_util.dir/log.cpp.o.d"
+  "CMakeFiles/rr_util.dir/rng.cpp.o"
+  "CMakeFiles/rr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rr_util.dir/strings.cpp.o"
+  "CMakeFiles/rr_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rr_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/rr_util.dir/thread_pool.cpp.o.d"
+  "librr_util.a"
+  "librr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

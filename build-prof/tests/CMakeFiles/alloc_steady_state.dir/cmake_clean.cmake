@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_steady_state.dir/alloc_steady_state_main.cpp.o"
+  "CMakeFiles/alloc_steady_state.dir/alloc_steady_state_main.cpp.o.d"
+  "alloc_steady_state"
+  "alloc_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_packet_main.cpp" "tests/CMakeFiles/fuzz_packet.dir/fuzz_packet_main.cpp.o" "gcc" "tests/CMakeFiles/fuzz_packet.dir/fuzz_packet_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/packet/CMakeFiles/rr_packet.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/netbase/CMakeFiles/rr_netbase.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/util/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_packet.dir/fuzz_packet_main.cpp.o"
+  "CMakeFiles/fuzz_packet.dir/fuzz_packet_main.cpp.o.d"
+  "fuzz_packet"
+  "fuzz_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_campaign_determinism.dir/campaign_determinism_test.cpp.o"
+  "CMakeFiles/test_campaign_determinism.dir/campaign_determinism_test.cpp.o.d"
+  "test_campaign_determinism"
+  "test_campaign_determinism.pdb"
+  "test_campaign_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_campaign_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

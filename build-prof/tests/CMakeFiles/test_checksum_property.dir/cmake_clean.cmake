@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checksum_property.dir/checksum_property_test.cpp.o"
+  "CMakeFiles/test_checksum_property.dir/checksum_property_test.cpp.o.d"
+  "test_checksum_property"
+  "test_checksum_property.pdb"
+  "test_checksum_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checksum_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_structures.dir/flat_structures_test.cpp.o"
+  "CMakeFiles/test_flat_structures.dir/flat_structures_test.cpp.o.d"
+  "test_flat_structures"
+  "test_flat_structures.pdb"
+  "test_flat_structures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_output.dir/golden_output_test.cpp.o"
+  "CMakeFiles/test_golden_output.dir/golden_output_test.cpp.o.d"
+  "test_golden_output"
+  "test_golden_output.pdb"
+  "test_golden_output[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netbase.dir/netbase_test.cpp.o"
+  "CMakeFiles/test_netbase.dir/netbase_test.cpp.o.d"
+  "test_netbase"
+  "test_netbase.pdb"
+  "test_netbase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle_cache.dir/oracle_cache_test.cpp.o"
+  "CMakeFiles/test_oracle_cache.dir/oracle_cache_test.cpp.o.d"
+  "test_oracle_cache"
+  "test_oracle_cache.pdb"
+  "test_oracle_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_property.dir/packet_property_test.cpp.o"
+  "CMakeFiles/test_packet_property.dir/packet_property_test.cpp.o.d"
+  "test_packet_property"
+  "test_packet_property.pdb"
+  "test_packet_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revtr.dir/revtr_test.cpp.o"
+  "CMakeFiles/test_revtr.dir/revtr_test.cpp.o.d"
+  "test_revtr"
+  "test_revtr.pdb"
+  "test_revtr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

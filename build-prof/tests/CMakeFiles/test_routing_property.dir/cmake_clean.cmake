@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_property.dir/routing_property_test.cpp.o"
+  "CMakeFiles/test_routing_property.dir/routing_property_test.cpp.o.d"
+  "test_routing_property"
+  "test_routing_property.pdb"
+  "test_routing_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_property.dir/topology_property_test.cpp.o"
+  "CMakeFiles/test_topology_property.dir/topology_property_test.cpp.o.d"
+  "test_topology_property"
+  "test_topology_property.pdb"
+  "test_topology_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_view_wire.dir/view_wire_test.cpp.o"
+  "CMakeFiles/test_view_wire.dir/view_wire_test.cpp.o.d"
+  "test_view_wire"
+  "test_view_wire.pdb"
+  "test_view_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_view_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

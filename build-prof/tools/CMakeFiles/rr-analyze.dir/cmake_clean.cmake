@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr-analyze.dir/rr_analyze.cpp.o"
+  "CMakeFiles/rr-analyze.dir/rr_analyze.cpp.o.d"
+  "rr-analyze"
+  "rr-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

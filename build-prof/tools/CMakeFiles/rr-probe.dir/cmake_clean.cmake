@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr-probe.dir/rr_probe.cpp.o"
+  "CMakeFiles/rr-probe.dir/rr_probe.cpp.o.d"
+  "rr-probe"
+  "rr-probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr-probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr-revtr.dir/rr_revtr.cpp.o"
+  "CMakeFiles/rr-revtr.dir/rr_revtr.cpp.o.d"
+  "rr-revtr"
+  "rr-revtr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr-revtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

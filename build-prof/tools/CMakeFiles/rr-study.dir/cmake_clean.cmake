@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr-study.dir/rr_study.cpp.o"
+  "CMakeFiles/rr-study.dir/rr_study.cpp.o.d"
+  "rr-study"
+  "rr-study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr-study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_lint.dir/lint.cpp.o"
+  "CMakeFiles/rr_lint.dir/lint.cpp.o.d"
+  "librr_lint.a"
+  "librr_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

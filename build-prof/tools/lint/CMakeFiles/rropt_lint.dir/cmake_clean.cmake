@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rropt_lint.dir/rropt_lint_main.cpp.o"
+  "CMakeFiles/rropt_lint.dir/rropt_lint_main.cpp.o.d"
+  "rropt_lint"
+  "rropt_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rropt_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
