@@ -12,6 +12,7 @@
 #include "packet/view.h"
 #include "probe/prober.h"
 #include "routing/bgp.h"
+#include "sim/pipeline.h"
 #include "topology/generator.h"
 #include "util/rng.h"
 
@@ -73,6 +74,37 @@ void walk_with_view(std::vector<std::uint8_t>& bytes) {
   for (int hop = 0; hop < kWalkHops; ++hop) {
     view.decrement_ttl();
     view.rr_stamp(net::IPv4Address(10, 0, 0, static_cast<std::uint8_t>(hop)));
+  }
+}
+
+/// The element-pipeline walk over the same nine stamping hops, exercising
+/// exactly what Network::walk_pipeline runs per hop: a HopRow load, a run
+/// list word from the personality bank, and the run_hop interpreter (here
+/// executing [TtlDecrement, TrustedStamp] — the fault-free stamping
+/// personality the census spends most of its time in).
+void walk_with_pipeline(std::vector<std::uint8_t>& bytes,
+                        const sim::PackedRunList* bank,
+                        const sim::ElementSet& es, const sim::HopRow* rows,
+                        sim::NetCounters* counters) {
+  pkt::Ipv4HeaderView view{bytes};
+  sim::HopContext ctx;
+  ctx.view = &view;
+  ctx.bytes = bytes;
+  ctx.has_options = view.has_options();
+  ctx.counters = counters;
+  double now = 0.0;
+  for (int hop = 0; hop < kWalkHops; ++hop) {
+    now += 0.0005;
+    const sim::HopRow row = rows[hop];
+    ctx.router = static_cast<topo::RouterId>(hop);
+    ctx.egress = net::IPv4Address(10, 0, 0, static_cast<std::uint8_t>(hop));
+    ctx.as_id = row.as_id;
+    ctx.hop = static_cast<std::size_t>(hop);
+    ctx.now = now;
+    if (sim::run_hop(bank[row.flags], es, ctx) !=
+        sim::HopVerdict::kContinue) {
+      return;
+    }
   }
 }
 
@@ -235,11 +267,31 @@ int main(int argc, char** argv) {
   const double legacy_ns = time_walk_ns(original, /*use_view=*/false,
                                         reset_ns);
   const double view_ns = time_walk_ns(original, /*use_view=*/true, reset_ns);
+  // The compiled element pipeline over the same hops: the run table is the
+  // fault-free compilation (loss gates elided, trusted stamping), rows are
+  // the plain stamping personality — the configuration the bulk of a
+  // census walk executes. Gated ≤ 177 ns by check_bench_regression.sh:
+  // the interpreter must not cost more than the hand-inlined view walk.
+  const rr::sim::RunTable table =
+      rr::sim::compile_run_table(rr::sim::PipelineConfig{});
+  const rr::sim::ElementSet elements{};
+  rr::sim::NetCounters counters;
+  rr::sim::HopRow rows[kWalkHops];
+  for (auto& row : rows) row.flags = rr::sim::HopRow::kStamps;
+  const double pipeline_ns =
+      time_loop_ns(original, [&](auto& bytes) {
+        walk_with_pipeline(bytes,
+                           table.data() + rr::sim::HopRow::kNumPersonalities,
+                           elements, rows, &counters);
+      }) -
+      reset_ns;
   telemetry.value("walk_reset_ns", reset_ns);
   telemetry.value("walk_legacy_ns", legacy_ns);
   telemetry.value("walk_view_ns", view_ns);
   telemetry.value("walk_speedup", legacy_ns / view_ns);
+  telemetry.value("walk_pipeline_ns", pipeline_ns);
   std::printf("walk (9 stamping hops): mutate.h %.1f ns, view %.1f ns, "
-              "speedup %.2fx\n", legacy_ns, view_ns, legacy_ns / view_ns);
+              "pipeline %.1f ns, speedup %.2fx\n", legacy_ns, view_ns,
+              pipeline_ns, legacy_ns / view_ns);
   return 0;
 }

@@ -107,6 +107,29 @@ check_band "campaign phase (s)" "$(extract "$fresh" campaign)" \
 check_band "peak RSS (MiB)" "$(extract "$fresh" peak_rss_mib)" \
   "$(extract "$reference" peak_rss_mib)" "$tolerance_rss" || failures=1
 
+# ------------------------------------------------ micro-bench walk gates
+# The per-hop walk interpreter (BENCH_micro.json only). Besides the usual
+# band against the committed reference, walk_pipeline_ns carries a hard
+# absolute ceiling: the compiled element run list must stay at or below
+# the 177 ns the hand-inlined view walk cost when the pipeline landed —
+# an interpreter that costs more than the branch forest it replaced is a
+# regression no matter what the reference drifted to.
+walk_pipeline_ceiling_ns=${RROPT_WALK_PIPELINE_CEILING_NS:-177}
+check_band "walk_pipeline_ns" "$(extract "$fresh" walk_pipeline_ns)" \
+  "$(extract "$reference" walk_pipeline_ns)" "$tolerance" || failures=1
+fresh_walk_pipeline=$(extract "$fresh" walk_pipeline_ns)
+if [[ -n "$fresh_walk_pipeline" ]]; then
+  awk -v v="$fresh_walk_pipeline" -v limit="$walk_pipeline_ceiling_ns" '
+    BEGIN {
+      if (v > limit) {
+        printf "check_bench_regression: walk_pipeline_ns %.1f exceeds the " \
+               "%.0f ns ceiling\n", v, limit > "/dev/stderr"
+        exit 1
+      }
+      printf "walk_pipeline_ns: %.1f (ceiling %.0f)\n", v, limit
+    }' || failures=1
+fi
+
 if [[ "$failures" -ne 0 ]]; then
   exit 1
 fi

@@ -73,6 +73,10 @@ class Ipv4HeaderView {
 
   [[nodiscard]] bool valid() const noexcept { return header_bytes_ != 0; }
   [[nodiscard]] bool has_options() const noexcept { return header_bytes_ > 20; }
+  /// Whether the constructor located a timestamp option. Lets stamping
+  /// hot paths skip the timestamp computation entirely for RR-only
+  /// packets (the census's dominant packet class).
+  [[nodiscard]] bool has_ts() const noexcept { return ts_offset_ != kNone; }
   [[nodiscard]] std::size_t header_bytes() const noexcept {
     return header_bytes_;
   }
@@ -130,6 +134,48 @@ class Ipv4HeaderView {
     data_[i + 2] = static_cast<std::uint8_t>(pointer + 4);
     finish_stamp({words, n}, {old_words, n});
     return true;
+  }
+
+  /// `rr_stamp` minus the per-stamp option revalidation — legal only when
+  /// the caller can prove nothing rewrote option bytes since the view was
+  /// constructed; see stamp_trusted_into for the proof obligations.
+  /// Byte-identical to rr_stamp whenever both succeed.
+  bool rr_stamp_trusted(net::IPv4Address address) noexcept {
+    if (checksum_dirty_) return rr_stamp(address);
+    net::IncrementalChecksum delta;
+    if (!stamp_trusted_into(address, delta)) return false;
+    write_u16(10, delta.apply(read_u16(10)));
+    return true;
+  }
+
+  /// Fused TTL decrement + trusted RR stamp: one checksum read-modify-
+  /// write for the hop instead of two. Returns what decrement_ttl would;
+  /// the stamp happens only when the packet survives (new TTL > 0),
+  /// matching the walk's expire-before-stamp order. RFC 1624 deltas
+  /// compose exactly — both orders equal the full recompute of the final
+  /// bytes — so the result is byte-identical to decrement_ttl() followed
+  /// by rr_stamp_trusted() (the run-list compiler's peephole fusion,
+  /// sim/pipeline.h, relies on this).
+  std::optional<std::uint8_t> ttl_rr_stamp_trusted(
+      net::IPv4Address address) noexcept {
+    if (checksum_dirty_) {
+      // Rare repair path (unreachable from fault-free compiled lists, but
+      // keeps the fused call safe anywhere): sequential updates preserve
+      // the legacy stays-corrupted-then-repairs semantics.
+      const auto ttl = decrement_ttl();
+      if (ttl && *ttl != 0) rr_stamp(address);
+      return ttl;
+    }
+    if (!valid()) return std::nullopt;
+    const std::uint8_t ttl = data_[8];
+    if (ttl == 0) return std::nullopt;
+    const std::uint16_t old_word = read_u16(8);
+    data_[8] = static_cast<std::uint8_t>(ttl - 1);
+    net::IncrementalChecksum delta;
+    delta.update(old_word, read_u16(8));
+    if (data_[8] != 0) stamp_trusted_into(address, delta);
+    write_u16(10, delta.apply(read_u16(10)));
+    return data_[8];
   }
 
   bool ts_stamp(net::IPv4Address address, std::uint32_t timestamp_ms) noexcept {
@@ -199,6 +245,72 @@ class Ipv4HeaderView {
   void write_u16(std::size_t offset, std::uint16_t value) noexcept {
     data_[offset] = static_cast<std::uint8_t>(value >> 8);
     data_[offset + 1] = static_cast<std::uint8_t>(value);
+  }
+
+  /// The trusted-stamp core: writes the slot and pointer bytes and folds
+  /// their word deltas into `delta` without touching the checksum field
+  /// (callers apply once, possibly combining with other updates). Caller
+  /// must have checked !checksum_dirty_. Skips the per-stamp option
+  /// revalidation rr_stamp performs — legal exactly when nothing rewrote
+  /// option bytes since construction, which the pipeline compiler proves
+  /// structurally: fault elements are the only mid-walk option writers,
+  /// and with the fault plan disabled they are compiled out of every run
+  /// list (sim/pipeline.h, TrustedStampElement). The two remaining guards
+  /// are pure bounds checks that never fire on a packet the constructor
+  /// accepted; they keep the fast path memory-safe when the fuzzer binds
+  /// views over arbitrary bytes. Byte-identical to rr_stamp whenever both
+  /// succeed.
+  bool stamp_trusted_into(net::IPv4Address address,
+                          net::IncrementalChecksum& delta) noexcept {
+    if (rr_offset_ == kNone) return false;
+    const std::size_t i = rr_offset_;
+    const std::uint8_t length = data_[i + 1];
+    if (length < 3) return false;  // bounds only: degenerate option
+    const std::uint8_t pointer = data_[i + 2];
+    // Full (pointer >= length on a valid option: a valid RR has
+    // pointer ≡ 0 (mod 4), length ≡ 3 (mod 4), so pointer < length
+    // implies pointer + 3 <= length) — and on a corrupted option this is
+    // the bound that keeps the 4-byte write inside i + length - 1.
+    if (pointer + 3u > length) return false;
+
+    const std::size_t slot = i + pointer - 1;  // pointer is 1-based
+    const std::size_t pointer_word = (i + 2) & ~std::size_t{1};
+    const std::size_t slot_word = slot & ~std::size_t{1};
+    std::size_t words[4];
+    std::uint16_t old_words[4];
+    std::size_t n = 0;
+    // Same word set note_word would collect, without the dedup scan: the
+    // pointer word, then the two (even-aligned slot) or three words
+    // covering the 4-byte slot. The only overlap on a valid packet is
+    // pointer_word == slot_word, when the slot starts at i + 3 (pointer
+    // of 4, even i).
+    words[n] = pointer_word;
+    old_words[n] = read_u16(pointer_word);
+    ++n;
+    if (slot_word != pointer_word) {
+      words[n] = slot_word;
+      old_words[n] = read_u16(slot_word);
+      ++n;
+    }
+    words[n] = slot_word + 2;
+    old_words[n] = read_u16(slot_word + 2);
+    ++n;
+    if ((slot & 1) != 0) {
+      words[n] = slot_word + 4;
+      old_words[n] = read_u16(slot_word + 4);
+      ++n;
+    }
+
+    const auto bytes = address.to_bytes();
+    data_[slot] = bytes[0];
+    data_[slot + 1] = bytes[1];
+    data_[slot + 2] = bytes[2];
+    data_[slot + 3] = bytes[3];
+    data_[i + 2] = static_cast<std::uint8_t>(pointer + 4);
+    for (std::size_t k = 0; k < n; ++k) {
+      delta.update(old_words[k], read_u16(words[k]));
+    }
+    return true;
   }
 
   /// Records the 16-bit word containing `byte_offset` (once) for the

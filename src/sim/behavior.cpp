@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/element.h"
+
 namespace rr::sim {
 
 Behaviors::Behaviors(std::shared_ptr<const topo::Topology> topology,
@@ -137,6 +139,17 @@ Behaviors::Behaviors(std::shared_ptr<const topo::Topology> topology,
     }
     strict_vps_.push_back(vp_index);
   }
+}
+
+std::uint8_t personality_flags(const RouterBehavior& rb,
+                               const AsBehavior& ab) noexcept {
+  std::uint8_t flags = 0;
+  if (rb.hidden) flags |= HopRow::kHidden;
+  if (rb.stamps) flags |= HopRow::kStamps;
+  if (rb.options_rate_pps > 0.0f) flags |= HopRow::kRateLimited;
+  if (ab.filters_transit) flags |= HopRow::kFiltersTransit;
+  if (ab.filters_edge) flags |= HopRow::kFiltersEdge;
+  return flags;
 }
 
 }  // namespace rr::sim

@@ -124,6 +124,13 @@ struct AsBehavior {
   StampPolicy stamping = StampPolicy::kAlways;
 };
 
+/// Folds a router's behaviour (AS policy already applied) into the 5-bit
+/// personality key that selects its dataplane run list — the HopRow flags
+/// byte (sim/element.h). Pipeline compilation calls this once per router
+/// at freeze; the walk never consults behaviour structs again.
+[[nodiscard]] std::uint8_t personality_flags(const RouterBehavior& rb,
+                                             const AsBehavior& ab) noexcept;
+
 /// Immutable behaviour assignment for a topology.
 class Behaviors {
  public:

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <bit>
+#include <cstdlib>
 #include <utility>
 
 #include "packet/icmp.h"
@@ -12,28 +13,6 @@
 namespace rr::sim {
 
 namespace {
-
-// Purposes for per-hop counter-based draws; folded into the draw key so a
-// hop's fast-path and slow-path loss draws are independent. Fault-plan
-// decisions (sim/fault.h) key on their own 0xFA00+ purpose space inside
-// FaultPlan, so enabling faults never perturbs these draws.
-constexpr std::uint64_t kDrawBaseLoss = 1;
-constexpr std::uint64_t kDrawOptionsLoss = 2;
-constexpr std::uint64_t kDrawFaultAddress = 3;
-
-std::uint64_t draw_key(std::uint64_t flow, int leg, std::size_t hop,
-                       std::uint64_t purpose) {
-  return util::mix64(flow ^ (static_cast<std::uint64_t>(leg) << 62) ^
-                     (static_cast<std::uint64_t>(hop) << 8) ^ purpose);
-}
-
-/// Bernoulli(p) as a pure function of the key: the draw is the same no
-/// matter which thread evaluates it or in what order.
-bool hash_chance(std::uint64_t key, double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return static_cast<double>(util::mix64(key) >> 11) * 0x1.0p-53 < p;
-}
 
 /// Runs a reply build against the scratch, counting capacity growths so
 /// steady-state allocation-freedom is observable.
@@ -58,20 +37,18 @@ Network::Network(std::shared_ptr<const topo::Topology> topology,
       host_ipid_count_(topology_->hosts().size()) {
   util::SerialGateLock gate(serial_gate_);
   buckets_.reserve(topology_->routers().size());
-  hop_rows_.reserve(topology_->routers().size());
   for (RouterId id = 0; id < topology_->routers().size(); ++id) {
     const RouterBehavior& b = behaviors_->router(id);
     buckets_.emplace_back(b.options_rate_pps, b.options_burst);
-    HopRow row;
-    row.as_id = topology_->router_at(id).as_id;
-    const AsBehavior& ab = behaviors_->as_behavior(row.as_id);
-    if (b.hidden) row.flags |= HopRow::kHidden;
-    if (b.stamps) row.flags |= HopRow::kStamps;
-    if (b.options_rate_pps > 0.0f) row.flags |= HopRow::kRateLimited;
-    if (ab.filters_transit) row.flags |= HopRow::kFiltersTransit;
-    if (ab.filters_edge) row.flags |= HopRow::kFiltersEdge;
-    hop_rows_.push_back(row);
   }
+  // Freeze-time dataplane compilation: per-router HopRows plus the
+  // per-personality element run lists (sim/pipeline.h). The fault elements
+  // keep a pointer to our fault_plan_ member, whose address is stable
+  // across set_fault_plan installs.
+  pipeline_ = CompiledPipeline::compile(*topology_, *behaviors_, &fault_plan_);
+  // Escape hatch for the one-release deprecation window: the legacy branch
+  // forest stays selectable for differential debugging in the field.
+  legacy_walk_ = std::getenv("RROPT_LEGACY_WALK") != nullptr;
 }
 
 void Network::reset() {
@@ -135,10 +112,94 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
                                   double start, topo::AsId src_as,
                                   topo::AsId dst_as, std::uint64_t flow,
                                   int leg, SendContext* ctx, bool doomed_in) {
-  // RROPT_HOT_BEGIN(network-walk): the per-hop pipeline runs once per
+  if (legacy_walk_) {
+    return walk_legacy(bytes, hops, start, src_as, dst_as, flow, leg, ctx,
+                       doomed_in);
+  }
+  return walk_pipeline(bytes, hops, start, src_as, dst_as, flow, leg, ctx,
+                       doomed_in);
+}
+
+Network::WalkResult Network::walk_pipeline(
+    std::vector<std::uint8_t>& bytes, std::span<const route::PathHop> hops,
+    double start, topo::AsId src_as, topo::AsId dst_as, std::uint64_t flow,
+    int leg, SendContext* ctx, bool doomed_in) {
+  // RROPT_HOT_BEGIN(network-walk): the per-hop run list executes once per
   // router per leg at campaign scale. rropt_lint bans heap-allocating
   // calls between these markers unless the line carries an RROPT_HOT_OK
   // waiver explaining why the allocation is steady-state-free.
+  WalkResult result;
+  // One view per leg: option offsets are located once, and every per-hop
+  // TTL decrement and RR/TS stamp is an O(1) in-place mutation with an
+  // RFC 1624 incremental checksum update (see packet/view.h). The
+  // HopContext is also per leg; only the per-hop fields below are
+  // refreshed inside the loop.
+  pkt::Ipv4HeaderView view{bytes};
+  HopContext hc;
+  hc.view = &view;
+  hc.bytes = bytes;
+  hc.has_options = view.has_options();
+  hc.doomed = doomed_in;
+  hc.leg = leg;
+  hc.flow = flow;
+  hc.src_as = src_as;
+  hc.dst_as = dst_as;
+  hc.counters = &counters_for(ctx);
+  hc.fault_counters = &fault_counters_;
+  if (ctx != nullptr) {
+    // Deferred mode: CoPP consumes are recorded into the trace for serial
+    // resolution (see the header comment on Network).
+    hc.trace = &ctx->trace;
+  } else {
+    // Serial mode: ctx == nullptr is the caller's no-concurrency promise,
+    // which is what holding the serial gate means; the bucket array is
+    // only handed to the elements under that promise.
+    serial_gate_.assert_held();
+    hc.buckets = buckets_.data();
+  }
+  const ElementSet& es = pipeline_.elements();
+  const PackedRunList* bank = pipeline_.list_bank(hc.has_options);
+  const HopRow* rows = pipeline_.rows().data();
+  double now = start;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    now += params_.hop_delay_s;
+    const RouterId router = hops[i].router;
+    const HopRow row = rows[router];
+    hc.router = router;
+    hc.egress = hops[i].egress;
+    hc.as_id = row.as_id;
+    hc.hop = i;
+    hc.now = now;
+    switch (run_hop(bank[row.flags], es, hc)) {
+      case HopVerdict::kContinue:
+        break;
+      case HopVerdict::kDrop:
+        return result;
+      case HopVerdict::kExpire:
+        result.outcome = WalkOutcome::kTtlExpired;
+        result.expired_hop = i;
+        result.time = now;
+        return result;
+    }
+  }
+  // A doomed packet that walked the full path is still "delivered" so the
+  // endpoint raises its ghost reply — the caller must treat a doomed
+  // delivery as unobservable.
+  result.outcome = WalkOutcome::kDelivered;
+  result.doomed = hc.doomed;
+  result.time = now + params_.hop_delay_s;  // final hop to the device
+  return result;
+  // RROPT_HOT_END(network-walk)
+}
+
+// The pre-pipeline branch forest, kept verbatim (modulo reading HopRows
+// from the compiled pipeline) as the differential-conformance reference.
+// Scheduled for removal — see DESIGN.md §11 for the date.
+Network::WalkResult Network::walk_legacy(
+    std::vector<std::uint8_t>& bytes, std::span<const route::PathHop> hops,
+    double start, topo::AsId src_as, topo::AsId dst_as, std::uint64_t flow,
+    int leg, SendContext* ctx, bool doomed_in) {
+  // RROPT_HOT_BEGIN(network-walk-legacy)
   WalkResult result;
   NetCounters& c = counters_for(ctx);
   double now = start;
@@ -163,7 +224,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
   for (std::size_t i = 0; i < hops.size(); ++i) {
     now += params_.hop_delay_s;
     const RouterId router = hops[i].router;
-    const HopRow row = hop_rows_[router];
+    const HopRow row = pipeline_.row(router);
 
     // Injected mid-path faults (sim/fault.h). Each draw is a pure function
     // of (fault seed, flow, leg, hop, kind), so a faulted packet's fate is
@@ -187,7 +248,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
         fault_counters_.note(FaultKind::kRrTruncate);
       }
       if (has_options && fault_plan_.garble_rr(flow, leg, i) &&
-          pkt::rr_garble(bytes, fault_plan_.bogus_address(draw_key(
+          pkt::rr_garble(bytes, fault_plan_.bogus_address(walk_draw_key(
                                     flow, leg, i, kDrawFaultAddress)))) {
         fault_counters_.note(FaultKind::kRrGarble);
       }
@@ -216,14 +277,14 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
     // Plain fast-path loss. A doomed packet takes the same exits the
     // baseline walk would (so shared bucket state evolves identically) but
     // its drop was already charged at the storm hop.
-    if (hash_chance(draw_key(flow, leg, i, kDrawBaseLoss), base_loss)) {
+    if (hash_chance(walk_draw_key(flow, leg, i, kDrawBaseLoss), base_loss)) {
       if (!doomed) ++c.dropped_loss;
       return result;
     }
 
     if (has_options) {
       // Slow path: the route processor sees this packet.
-      if (hash_chance(draw_key(flow, leg, i, kDrawOptionsLoss),
+      if (hash_chance(walk_draw_key(flow, leg, i, kDrawOptionsLoss),
                       options_loss)) {
         if (!doomed) ++c.dropped_loss;
         return result;
@@ -298,7 +359,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
       if (fault_plan_.enabled() &&
           fault_plan_.byzantine_stamp(flow, leg, i)) {
         egress = fault_plan_.bogus_address(
-            draw_key(flow, leg, i, kDrawFaultAddress));
+            walk_draw_key(flow, leg, i, kDrawFaultAddress));
         fault_counters_.note(FaultKind::kByzantineStamp);
       }
       view.rr_stamp(egress);
@@ -312,7 +373,7 @@ Network::WalkResult Network::walk(std::vector<std::uint8_t>& bytes,
   result.doomed = doomed;
   result.time = now + params_.hop_delay_s;  // final hop to the device
   return result;
-  // RROPT_HOT_END(network-walk)
+  // RROPT_HOT_END(network-walk-legacy)
 }
 
 std::optional<HostId> Network::host_owning(net::IPv4Address addr) const {

@@ -56,6 +56,7 @@
 #include "routing/stitcher.h"
 #include "sim/behavior.h"
 #include "sim/fault.h"
+#include "sim/pipeline.h"
 #include "sim/token_bucket.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
@@ -72,65 +73,6 @@ struct NetParams {
   std::size_t quoted_payload_bytes = 8;  // ICMP error quotation depth
   /// Router-level path cache capacity (paths, across all shards).
   std::size_t path_cache_entries = 1 << 18;
-};
-
-/// Why a probe got no (useful) answer — simulator-side diagnostics used by
-/// tests and sanity benches, never by the measurement pipeline itself.
-struct NetCounters {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;          // reached the final device
-  std::uint64_t responses = 0;          // any packet returned to the source
-  std::uint64_t dropped_loss = 0;
-  std::uint64_t dropped_filter = 0;
-  std::uint64_t dropped_rate_limit = 0;
-  std::uint64_t dropped_ttl = 0;        // expired anonymously
-  std::uint64_t dropped_unroutable = 0;
-  std::uint64_t ttl_errors = 0;         // Time-Exceeded returned
-  std::uint64_t port_unreachables = 0;
-};
-
-/// One deferred options-token consume: a policed router saw an options
-/// packet at a virtual time. Recorded in probe order (forward leg first,
-/// then the reply leg); times increase within a leg.
-struct BucketEvent {
-  RouterId router = topo::kNoRouter;
-  double time = 0.0;
-  bool reply_leg = false;
-};
-
-/// Per-send bookkeeping for deferred-bucket (concurrent) execution. The
-/// counted_* flags remember which optimistic aggregate counters this send
-/// incremented before any reply-leg bucket event, so the serial replay
-/// phase (Campaign::run pass B) can reconstruct exactly the counters a
-/// serial run would have recorded when a deferred consume fails: a
-/// forward-leg kill keeps none of them, a reply-leg kill keeps all but
-/// counted_response.
-struct ProbeTrace {
-  std::vector<BucketEvent> events;
-  bool counted_delivered = false;
-  bool counted_response = false;
-  bool counted_ttl_error = false;
-  bool counted_port_unreachable = false;
-  // A fault doomed this exchange: the drop was charged when the fault
-  // fired (as dropped_loss or dropped_rate_limit), after the first
-  // `doom_after_events` bucket events had been recorded. The serial
-  // replay uses this to reconstruct which drop a serial run would have
-  // charged when a deferred consume fails: the doom charge stands only if
-  // the serial walk actually reaches the doom point.
-  bool doomed = false;
-  bool doom_charged_loss = false;
-  std::uint32_t doom_after_events = 0;
-
-  void reset() {
-    events.clear();
-    counted_delivered = false;
-    counted_response = false;
-    counted_ttl_error = false;
-    counted_port_unreachable = false;
-    doomed = false;
-    doom_charged_loss = false;
-    doom_after_events = 0;
-  }
 };
 
 /// Reusable buffer for building replies whose geometry differs from the
@@ -222,10 +164,13 @@ class Network {
   /// plan is inert; installing an inert plan restores exact no-fault
   /// behaviour — every fault draw uses its own key space, so baseline
   /// loss/bucket decisions are untouched either way. Installs are a
-  /// serial-phase operation (sends read the plan lock-free).
+  /// serial-phase operation (sends read the plan lock-free). The pipeline
+  /// recompiles its run lists so fault elements appear (or vanish) and the
+  /// stamp elements flip between fault-aware and trusted.
   void set_fault_plan(const FaultPlan& plan) RROPT_EXCLUDES(serial_gate_) {
     util::SerialGateLock gate(serial_gate_);
     fault_plan_ = plan;
+    pipeline_.set_faults_enabled(fault_plan_.enabled());
   }
   [[nodiscard]] const FaultPlan& fault_plan() const noexcept {
     return fault_plan_;
@@ -268,6 +213,22 @@ class Network {
   [[nodiscard]] const route::PathCache& path_cache() const noexcept {
     return paths_;
   }
+  /// The compiled dataplane (sim/pipeline.h): per-router HopRows plus the
+  /// per-personality element run lists walk executes.
+  [[nodiscard]] const CompiledPipeline& pipeline() const noexcept {
+    return pipeline_;
+  }
+
+  /// Selects the walk engine: the compiled element pipeline (default) or
+  /// the legacy branch-forest walk, kept in-tree for one release so the
+  /// differential conformance harness can run both (see DESIGN.md §11 for
+  /// the remove-by date). The environment variable RROPT_LEGACY_WALK
+  /// selects legacy at construction; this setter lets the harness flip a
+  /// live network between campaigns (serial-phase only).
+  void set_walk_engine(bool use_legacy) noexcept { legacy_walk_ = use_legacy; }
+  [[nodiscard]] bool using_legacy_walk() const noexcept {
+    return legacy_walk_;
+  }
 
  private:
   enum class WalkOutcome { kDelivered, kDropped, kTtlExpired };
@@ -286,11 +247,26 @@ class Network {
   /// forward walk and 1 on any reply walk. `doomed_in` marks a ghost
   /// continuation of an exchange a fault already discarded: the walk
   /// consumes shared state exactly as the baseline would but charges no
-  /// further counters and the result stays doomed.
+  /// further counters and the result stays doomed. Dispatches to the
+  /// compiled-pipeline interpreter or the legacy branch forest; the two
+  /// are bit-identical at every observable byte (the differential harness
+  /// proves it).
   WalkResult walk(std::vector<std::uint8_t>& bytes,
                   std::span<const route::PathHop> hops, double start,
                   topo::AsId src_as, topo::AsId dst_as, std::uint64_t flow,
                   int leg, SendContext* ctx, bool doomed_in = false);
+
+  WalkResult walk_pipeline(std::vector<std::uint8_t>& bytes,
+                           std::span<const route::PathHop> hops, double start,
+                           topo::AsId src_as, topo::AsId dst_as,
+                           std::uint64_t flow, int leg, SendContext* ctx,
+                           bool doomed_in);
+
+  WalkResult walk_legacy(std::vector<std::uint8_t>& bytes,
+                         std::span<const route::PathHop> hops, double start,
+                         topo::AsId src_as, topo::AsId dst_as,
+                         std::uint64_t flow, int leg, SendContext* ctx,
+                         bool doomed_in);
 
   /// Host owning an address, if any (responses are routed to it).
   [[nodiscard]] std::optional<HostId> host_owning(
@@ -362,21 +338,6 @@ class Network {
     return buckets_[router];
   }
 
-  /// Everything the per-hop walk pipeline reads about a router, packed
-  /// into one 8-byte row so the ~half-billion hop iterations of a census
-  /// issue a single indexed load instead of three dependent loads across
-  /// the router table, the topology and the per-AS behaviour array. Built
-  /// once at construction; the AS filter policy is folded per router.
-  struct HopRow {
-    static constexpr std::uint8_t kHidden = 1 << 0;
-    static constexpr std::uint8_t kStamps = 1 << 1;
-    static constexpr std::uint8_t kRateLimited = 1 << 2;
-    static constexpr std::uint8_t kFiltersTransit = 1 << 3;
-    static constexpr std::uint8_t kFiltersEdge = 1 << 4;
-    std::uint32_t as_id = 0;
-    std::uint8_t flags = 0;
-  };
-
   std::shared_ptr<const topo::Topology> topology_;
   std::shared_ptr<const Behaviors> behaviors_;
   route::PathStitcher stitcher_;
@@ -401,7 +362,12 @@ class Network {
   /// forwarding plane: the old lazy hash map cost a probe-path lookup per
   /// policed hop).
   std::vector<TokenBucket> buckets_ RROPT_GUARDED_BY(serial_gate_);
-  std::vector<HopRow> hop_rows_;  // immutable after construction
+  /// The compiled dataplane: HopRows + run lists + element set. Immutable
+  /// after construction except for the serial-phase run-list recompile in
+  /// set_fault_plan.
+  CompiledPipeline pipeline_;
+  /// Selected walk engine (see set_walk_engine).
+  bool legacy_walk_ = false;
   ReplyScratch serial_scratch_;  // ctx == nullptr sends only
   std::vector<route::PathHop> serial_fwd_path_scratch_;
   std::vector<route::PathHop> serial_rev_path_scratch_;

@@ -1,0 +1,91 @@
+#include "sim/pipeline.h"
+
+#include "routing/stitcher.h"
+
+namespace rr::sim {
+
+// The walk consumes routing/fib path spines hop by hop: each PathHop's
+// router indexes the packed HopRow (and hence the run list) executed at
+// that hop, and its egress is what the stamp elements record. The spine
+// layout is part of the dataplane contract.
+static_assert(sizeof(route::PathHop) ==
+                  sizeof(topo::RouterId) + 2 * sizeof(net::IPv4Address),
+              "PathHop must stay a packed (router, ingress, egress) row");
+
+RunTable compile_run_table(const PipelineConfig& config) {
+  RunTable table{};
+  for (std::size_t flags = 0; flags < HopRow::kNumPersonalities; ++flags) {
+    for (int options = 0; options < 2; ++options) {
+      PackedRunList list = 0;
+      const auto add = [&list](ElementOp op) {
+        list = run_list_append(list, op);
+      };
+      // Element order is the legacy walk's branch order — load-bearing
+      // for bit-identity (a storm doom must precede the CoPP gate so the
+      // doomed packet still consumes budget; filters run after the gate;
+      // TTL after the whole slow path; stamping last).
+      if (config.faults_enabled) add(ElementOp::kFaultInject);
+      if (config.base_loss > 0.0) add(ElementOp::kBaseLoss);
+      if (options != 0) {
+        if (config.options_extra_loss > 0.0) add(ElementOp::kSlowPathLoss);
+        if (config.faults_enabled) add(ElementOp::kStormGate);
+        if ((flags & HopRow::kRateLimited) != 0) add(ElementOp::kCoppGate);
+        if ((flags & HopRow::kFiltersTransit) != 0) {
+          add(ElementOp::kTransitFilter);
+        } else if ((flags & HopRow::kFiltersEdge) != 0) {
+          add(ElementOp::kEdgeFilter);
+        }
+      }
+      const bool decrements = (flags & HopRow::kHidden) == 0;
+      const bool stamps = options != 0 && (flags & HopRow::kStamps) != 0;
+      if (decrements && stamps && !config.faults_enabled) {
+        // Peephole fusion: the hottest personality (visible stamping
+        // router, fault-free) collapses to one element with a single
+        // combined checksum update. Deltas compose exactly, so the bytes
+        // match the unfused pair (tests/element_test.cpp proves it).
+        add(ElementOp::kTtlStampTrusted);
+      } else {
+        if (decrements) add(ElementOp::kTtl);
+        if (stamps) {
+          add(config.faults_enabled ? ElementOp::kStamp
+                                    : ElementOp::kStampTrusted);
+        }
+      }
+      table[(options != 0 ? HopRow::kNumPersonalities : 0) + flags] = list;
+    }
+  }
+  return table;
+}
+
+CompiledPipeline CompiledPipeline::compile(const topo::Topology& topology,
+                                           const Behaviors& behaviors,
+                                           const FaultPlan* plan) {
+  CompiledPipeline pipeline;
+  const std::span<const topo::AsId> router_as = topology.router_as_ids();
+  pipeline.rows_.reserve(router_as.size());
+  for (topo::RouterId id = 0; id < router_as.size(); ++id) {
+    HopRow row;
+    row.as_id = router_as[id];
+    row.flags = personality_flags(behaviors.router(id),
+                                  behaviors.as_behavior(row.as_id));
+    pipeline.rows_.push_back(row);
+  }
+  pipeline.elements_.fault.plan = plan;
+  pipeline.elements_.storm.plan = plan;
+  pipeline.elements_.stamp.plan = plan;
+  const BehaviorParams& params = behaviors.params();
+  pipeline.elements_.base_loss.probability = params.base_loss;
+  pipeline.elements_.slow_loss.probability = params.options_extra_loss;
+  pipeline.config_ = {plan != nullptr && plan->enabled(), params.base_loss,
+                      params.options_extra_loss};
+  pipeline.table_ = compile_run_table(pipeline.config_);
+  return pipeline;
+}
+
+void CompiledPipeline::set_faults_enabled(bool enabled) {
+  if (config_.faults_enabled == enabled) return;
+  config_.faults_enabled = enabled;
+  table_ = compile_run_table(config_);
+}
+
+}  // namespace rr::sim

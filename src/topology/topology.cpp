@@ -69,6 +69,12 @@ void Topology::compile(util::ThreadPool& pool) {
       for (const auto& alias : host.aliases) host_alias_arena_[at++] = alias;
     }
   });
+
+  router_as_.resize(routers_.size());
+  for (std::size_t r = 0; r < routers_.size(); ++r) {
+    router_as_[r] = routers_[r].as_id;
+  }
+
   frozen_ = true;
 }
 

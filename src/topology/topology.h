@@ -78,6 +78,13 @@ class Topology {
     return epoch == Epoch::k2011 ? vps_2011_ : vps_2016_;
   }
 
+  /// RouterId-indexed AS membership, flattened at freeze for dataplane
+  /// compilation: sim/pipeline.h folds this with the behaviour assignment
+  /// into packed per-router HopRows without chasing Router structs.
+  [[nodiscard]] std::span<const AsId> router_as_ids() const noexcept {
+    return router_as_;
+  }
+
   // ------------------------------------------------------ address services
   /// AS owning an address, via longest-prefix match over advertised +
   /// infrastructure blocks (this is what AS-path extraction from RR or
@@ -178,6 +185,7 @@ class Topology {
   static constexpr std::uint32_t kNoAliasEntry = 0xffff'ffffu;
   std::vector<std::uint32_t> host_alias_offset_;
   std::vector<net::IPv4Address> host_alias_arena_;  // [addr, aliases...] runs
+  std::vector<AsId> router_as_;  // RouterId-indexed AS membership
   /// Set by compile(); generation is over and the object is immutable.
   bool frozen_ = false;
 };

@@ -35,6 +35,10 @@
 #include "packet/mutate.h"
 #include "packet/options.h"
 #include "packet/udp.h"
+#include "packet/view.h"
+#include "sim/element.h"
+#include "sim/fault.h"
+#include "sim/pipeline.h"
 #include "util/rng.h"
 
 namespace {
@@ -178,6 +182,75 @@ void check_mutators(std::span<const std::uint8_t> input) {
   (void)rr::pkt::rewrite_header_checksum(buf);
 }
 
+/// The element dataplane (sim/pipeline.h) walked over arbitrary bytes:
+/// compiled run lists — including the trusted/fused stamping fast paths,
+/// whose guards are exactly what garbage tries to slip past — must be
+/// memory-safe on any buffer, and a walk whose every verdict is kContinue
+/// must leave a valid datagram valid (elements maintain the checksum).
+void check_pipeline_walk(std::span<const std::uint8_t> input) {
+  using namespace rr::sim;
+  static const RunTable trusted_table = compile_run_table(PipelineConfig{});
+  static const RunTable faulted_table =
+      compile_run_table(PipelineConfig{true, 0.1, 0.1});
+  static const rr::sim::FaultPlan plan{FaultParams::uniform(0.05)};
+  static const ElementSet elements = [] {
+    ElementSet es;
+    es.fault.plan = &plan;
+    es.storm.plan = &plan;
+    es.stamp.plan = &plan;
+    es.base_loss.probability = 0.1;
+    es.slow_loss.probability = 0.1;
+    return es;
+  }();
+
+  const bool was_valid = rr::pkt::Datagram::parse(input).has_value();
+  constexpr std::uint8_t kPersonalities[] = {
+      HopRow::kStamps,
+      HopRow::kStamps | HopRow::kRateLimited,
+      HopRow::kFiltersEdge,
+      HopRow::kHidden | HopRow::kStamps,
+  };
+  for (const bool faulted : {false, true}) {
+    const RunTable& table = faulted ? faulted_table : trusted_table;
+    for (const std::uint8_t flags : kPersonalities) {
+      std::vector<std::uint8_t> buf(input.begin(), input.end());
+      rr::pkt::Ipv4HeaderView view{buf};
+      NetCounters counters;
+      FaultCounters fault_counters;
+      ProbeTrace trace;
+      HopContext ctx;
+      ctx.view = &view;
+      ctx.bytes = buf;
+      ctx.has_options = rr::pkt::has_ip_options(buf);
+      ctx.flow = 0x1234;
+      ctx.src_as = 1;
+      ctx.dst_as = 2;
+      ctx.counters = &counters;
+      ctx.fault_counters = &fault_counters;
+      ctx.trace = &trace;
+      const PackedRunList list =
+          table[(ctx.has_options ? HopRow::kNumPersonalities : 0) + flags];
+      bool walked_clean = true;
+      for (std::size_t hop = 0; hop < 8; ++hop) {
+        ctx.router = static_cast<rr::topo::RouterId>(hop % 4);
+        ctx.egress = rr::net::IPv4Address::from_bytes(
+            10, 1, 0, static_cast<std::uint8_t>(hop + 1));
+        ctx.as_id = static_cast<std::uint32_t>(1 + hop % 3);
+        ctx.hop = hop;
+        ctx.now = 0.05 * static_cast<double>(hop);
+        if (run_hop(list, elements, ctx) != HopVerdict::kContinue) {
+          walked_clean = false;
+          break;
+        }
+      }
+      if (was_valid && walked_clean) {
+        FUZZ_CHECK(rr::pkt::Datagram::parse(buf).has_value(),
+                   "pipeline: clean walk broke a valid datagram");
+      }
+    }
+  }
+}
+
 void run_one(std::span<const std::uint8_t> input) {
   check_options(input);
   check_ipv4(input);
@@ -185,6 +258,7 @@ void run_one(std::span<const std::uint8_t> input) {
   check_udp(input);
   check_datagram(input);
   check_mutators(input);
+  check_pipeline_walk(input);
 }
 
 }  // namespace

@@ -1,0 +1,20 @@
+// bad: no-hot-alloc — an element process() body is a hot region by
+// contract (sim/element.h), with no RROPT_HOT markers needed.
+#include <vector>
+
+namespace rr::sim {
+
+struct Ctx {
+  std::vector<int> stamps;
+};
+
+struct LeakyElement {
+  int process(Ctx& ctx) const {
+    ctx.stamps.push_back(7);  // finding: no-hot-alloc (implicit hot body)
+    int* scratch = new int[4];  // finding: no-hot-alloc
+    delete[] scratch;
+    return 0;
+  }
+};
+
+}  // namespace rr::sim

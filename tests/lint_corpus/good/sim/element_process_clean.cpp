@@ -1,0 +1,28 @@
+// good: element process() bodies are implicitly hot, but allocation-free
+// bodies pass, a deliberate recycled-capacity push carries the standard
+// RROPT_HOT_OK waiver, and *calls* to something named process (or
+// allocations outside the body) are not implicit hot regions.
+#include <vector>
+
+namespace rr::sim {
+
+struct Ctx {
+  std::vector<int> events;
+  int ttl = 0;
+};
+
+struct CleanElement {
+  int process(Ctx& ctx) const noexcept {
+    ctx.ttl -= 1;
+    ctx.events.push_back(ctx.ttl);  // RROPT_HOT_OK: capacity recycled
+    return ctx.ttl;
+  }
+};
+
+int drive(Ctx& ctx) {
+  const CleanElement element;
+  ctx.events.push_back(element.process(ctx));  // a call site is not hot
+  return ctx.events.back();
+}
+
+}  // namespace rr::sim

@@ -117,6 +117,44 @@ TEST(LintRules, HotRegionAllocAndWaiver) {
   EXPECT_TRUE(lint_file("src/probe/x.cpp", waived).empty());
 }
 
+TEST(LintRules, ElementProcessBodyIsImplicitlyHot) {
+  const std::string body =
+      "struct E {\n"
+      "  int process(Ctx& ctx) const noexcept {\n"
+      "    ctx.v.push_back(1);\n"
+      "    return 0;\n"
+      "  }\n"
+      "};\n";
+  const auto findings = lint_file("src/sim/x.h", "#pragma once\n" + body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-hot-alloc");
+  EXPECT_EQ(findings[0].line, 4);
+  // The same body outside the determinism subsystems is not implicitly hot.
+  EXPECT_TRUE(lint_file("src/analysis/x.h", "#pragma once\n" + body).empty());
+}
+
+TEST(LintRules, ProcessBodyWaiversAndNonDefinitions) {
+  // RROPT_HOT_OK waives a line inside the implicit hot body as usual.
+  EXPECT_TRUE(lint_file("src/sim/x.h",
+                        "#pragma once\n"
+                        "struct E {\n"
+                        "  int process(Ctx& ctx) const {\n"
+                        "    ctx.v.push_back(1);  // RROPT_HOT_OK: recycled\n"
+                        "    return 0;\n"
+                        "  }\n"
+                        "};\n")
+                  .empty());
+  // Calls and declarations named process do not open hot regions.
+  EXPECT_TRUE(lint_file("src/sim/x.cpp",
+                        "int f(E& e, Ctx& c) {\n"
+                        "  c.v.push_back(e.process(c));\n"
+                        "  return g(e.process(c), 1);\n"
+                        "}\n"
+                        "struct F { int process(Ctx& ctx) const; };\n"
+                        "void h(V& v) { v.push_back(2); }\n")
+                  .empty());
+}
+
 TEST(LintRules, RawMutexOutsideUtil) {
   EXPECT_EQ(
       rules_of(lint_file("src/routing/x.h",

@@ -355,6 +355,71 @@ class Checker {
       }
     };
 
+    // Dataplane element process() bodies are implicitly hot (the contract
+    // of sim/element.h): every per-hop element body obeys the same
+    // no-allocation rule as a marker-delimited RROPT_HOT region, without
+    // each element needing its own markers. This pre-pass records the
+    // body line ranges of `process(...) ... { ... }` *definitions* in
+    // determinism-scope files; calls and declarations (which hit ';',
+    // ',', '=' or a closing paren before any '{') are ignored.
+    // RROPT_HOT_OK waives individual lines as usual.
+    std::vector<std::pair<int, int>> process_bodies;
+    if (scope_.determinism) {
+      const auto& toks = lexed_.tokens;
+      for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].is_ident || toks[i].text != "process" ||
+            toks[i + 1].text != "(") {
+          continue;
+        }
+        std::size_t j = i + 1;
+        int depth = 0;
+        while (j < toks.size()) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")" && --depth == 0) break;
+          ++j;
+        }
+        if (j >= toks.size()) break;
+        ++j;  // past the parameter list's ')'
+        // Between the parameter list and a definition's '{' only
+        // qualifiers may appear (const, noexcept(...), ref-qualifiers,
+        // a trailing return type).
+        bool definition = false;
+        int paren = 0;
+        for (; j < toks.size(); ++j) {
+          const std::string& t = toks[j].text;
+          if (t == "(") {
+            ++paren;
+          } else if (t == ")") {
+            if (paren == 0) break;
+            --paren;
+          } else if (paren > 0) {
+            continue;
+          } else if (t == "{") {
+            definition = true;
+            break;
+          } else if (t == ";" || t == "," || t == "=") {
+            break;
+          }
+        }
+        if (!definition) continue;
+        const int body_begin = toks[j].line;
+        int braces = 0;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].text == "{") ++braces;
+          if (toks[j].text == "}" && --braces == 0) break;
+        }
+        const int body_end =
+            j < toks.size() ? toks[j].line : lexed_.last_line;
+        process_bodies.emplace_back(body_begin, body_end);
+      }
+    }
+    const auto in_process_body = [&](int line) {
+      for (const auto& [begin, end] : process_bodies) {
+        if (line >= begin && line <= end) return true;
+      }
+      return false;
+    };
+
     static const std::unordered_set<std::string> kRandIdents{
         "rand", "srand", "random", "drand48", "lrand48", "random_device",
         "random_shuffle"};
@@ -412,12 +477,14 @@ class Checker {
                "through util/log.h");
       }
 
-      if (hot && kHotAlloc.count(tok.text) > 0 &&
+      if ((hot || in_process_body(tok.line)) &&
+          kHotAlloc.count(tok.text) > 0 &&
           lexed_.directives.hot_ok.count(tok.line) == 0) {
         report(tok.line, "no-hot-alloc",
-               "'" + tok.text + "' allocates inside an RROPT_HOT region; "
-               "preallocate, or waive the line with '// RROPT_HOT_OK: "
-               "<why this is steady-state-free>'");
+               "'" + tok.text + "' allocates inside a hot region (RROPT_HOT "
+               "markers, or an element process() body — those are hot by "
+               "contract); preallocate, or waive the line with "
+               "'// RROPT_HOT_OK: <why this is steady-state-free>'");
       }
 
       if (!scope_.util && kMutexTypes.count(tok.text) > 0 &&
@@ -539,7 +606,8 @@ std::vector<std::string> rule_descriptions() {
       "no-stream-io — <iostream>/printf/cout banned in packet/, sim/, "
       "probe/, netbase/, routing/, measure/",
       "no-hot-alloc — allocation keywords banned between RROPT_HOT_BEGIN "
-      "and RROPT_HOT_END unless waived with RROPT_HOT_OK",
+      "and RROPT_HOT_END, and inside dataplane element process() bodies "
+      "in sim/, measure/, routing/, unless waived with RROPT_HOT_OK",
       "raw-mutex — std::mutex members only under util/ (use util::Mutex "
       "so Clang TSA sees the locks)",
       "umbrella-include — \"rropt.h\" must not be included from inside "

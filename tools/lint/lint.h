@@ -19,8 +19,11 @@
 //                     netbase|routing|      hot-path subsystems; logging goes
 //                     measure               through util::log in drivers only
 //   no-hot-alloc      RROPT_HOT_BEGIN/END   heap-allocating calls (new,
-//                     regions               make_unique, push_back, ...)
-//                                           banned inside marked hot regions
+//                     regions + element     make_unique, push_back, ...)
+//                     process() bodies in   banned inside marked hot regions
+//                     sim|measure|routing   and inside dataplane element
+//                                           process() definitions (hot by
+//                                           the sim/element.h contract)
 //                                           unless the line carries an
 //                                           RROPT_HOT_OK waiver
 //   raw-mutex         everywhere but util/  std::mutex members banned — use
