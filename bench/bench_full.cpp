@@ -75,9 +75,17 @@ int main() {
                 util::percent(table.by_ip[0].rr_over_ping()));
 
   const double rss = bench::peak_rss_mib();
+  const auto& phases = campaign.phase_stats();
   std::printf("\n  stream block: %zu destinations, peak RSS: %.0f MiB\n",
               campaign_config.stream_block, rss);
   std::printf("  dataset hash: %s\n", hash);
+  std::printf("  campaign phases: pass A %.2fs, pass B %.2fs "
+              "(serial fraction %.1f%%), %llu sharded / %llu fallback "
+              "chunks\n",
+              phases.pass_a_seconds, phases.pass_b_seconds,
+              100.0 * phases.serial_fraction(),
+              static_cast<unsigned long long>(phases.sharded_chunks),
+              static_cast<unsigned long long>(phases.serial_fallback_chunks));
 
   telemetry.value("destinations", campaign.num_destinations());
   telemetry.value("stream_block", campaign_config.stream_block);
@@ -86,5 +94,10 @@ int main() {
   telemetry.value("rr_over_ping_by_ip", table.by_ip[0].rr_over_ping());
   telemetry.value("peak_rss_mib", rss);
   telemetry.value("dataset_hash", std::string(hash));
+  telemetry.value("campaign_pass_a_s", phases.pass_a_seconds);
+  telemetry.value("campaign_pass_b_s", phases.pass_b_seconds);
+  telemetry.value("campaign_serial_fraction", phases.serial_fraction());
+  telemetry.value("campaign_sharded_chunks", phases.sharded_chunks);
+  telemetry.value("campaign_fallback_chunks", phases.serial_fallback_chunks);
   return 0;
 }

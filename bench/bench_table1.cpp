@@ -50,6 +50,12 @@ int main() {
   const auto campaign = measure::Campaign::run(testbed);
   telemetry.phase("analysis");
   telemetry.value("destinations", campaign.num_destinations());
+  const auto& phases = campaign.phase_stats();
+  telemetry.value("campaign_pass_a_s", phases.pass_a_seconds);
+  telemetry.value("campaign_pass_b_s", phases.pass_b_seconds);
+  telemetry.value("campaign_serial_fraction", phases.serial_fraction());
+  telemetry.value("campaign_sharded_chunks", phases.sharded_chunks);
+  telemetry.value("campaign_fallback_chunks", phases.serial_fallback_chunks);
   const auto table = measure::build_response_table(campaign);
 
   std::printf("world: %s\n\n", testbed.topology().summary().c_str());

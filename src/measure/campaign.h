@@ -75,6 +75,20 @@ struct CampaignConfig {
   /// FIB equivalence test); this knob exists for A/B benchmarking and as
   /// a kill switch.
   bool use_compiled_fib = true;
+  /// Probes driven through the network per batched walk in the ping-RR
+  /// study (see sim::WalkBatch). 1 = the scalar probe_into path, kept as a
+  /// differential baseline; values are clamped to
+  /// [1, sim::WalkBatch::kMaxProbes]. Contents are bit-identical at any
+  /// batch width: every per-probe decision is counter-based and token
+  /// consumption is deferred to the serial replay either way.
+  int probe_batch = 16;
+  /// Replay each chunk's recorded token consumes sharded by router on the
+  /// worker pool (buckets are per-router independent, so per-router
+  /// canonical order equals global canonical order). Chunks where a kill
+  /// would have suppressed later consumes fall back to the serial replay
+  /// for that chunk, keeping results bit-identical to shard_replay=false.
+  /// Effective only when the pool has more than one thread.
+  bool shard_replay = true;
   /// Streaming mode: process destinations in blocks of this many,
   /// compiling the forwarding table per block, so resident path state is
   /// bounded by the block size instead of the census size. 0 = one block
@@ -114,6 +128,28 @@ struct CampaignAllocStats {
   std::uint64_t probe_buffer_growths = 0;  // Prober::buffer_growths() sum
   std::uint64_t reply_scratch_growths = 0;  // SendContext scratch growths
   std::uint64_t probe_streams = 0;  // probers contributing to the totals
+  /// Distinct recycled probe buffers behind the totals: one per scalar
+  /// stream plus one per batch slot. Growth is bounded per *buffer* (each
+  /// climbs to its steady geometry once), so this — not probe_streams — is
+  /// the denominator the steady-state allocation test checks against.
+  std::uint64_t probe_buffers = 0;
+};
+
+/// Wall-time split of the ping-RR study: pass A (parallel probe streams)
+/// vs pass B (token replay — the campaign's serial tail when sharding is
+/// off or falls back). The serial fraction pass_b / (pass_a + pass_b) is
+/// the Amdahl ceiling benchmarks track; sharded_chunks /
+/// serial_fallback_chunks count how often the replay actually ran wide.
+struct CampaignPhaseStats {
+  double pass_a_seconds = 0.0;
+  double pass_b_seconds = 0.0;
+  std::uint64_t sharded_chunks = 0;
+  std::uint64_t serial_fallback_chunks = 0;
+
+  [[nodiscard]] double serial_fraction() const noexcept {
+    const double total = pass_a_seconds + pass_b_seconds;
+    return total > 0.0 ? pass_b_seconds / total : 0.0;
+  }
 };
 
 class Campaign {
@@ -185,6 +221,11 @@ class Campaign {
     return alloc_stats_;
   }
 
+  /// Ping-RR study wall-time split and replay sharding telemetry.
+  [[nodiscard]] const CampaignPhaseStats& phase_stats() const noexcept {
+    return phase_stats_;
+  }
+
   /// Surrenders the raw observation matrix (row-major [vp][destination] —
   /// the exact layout data::CampaignDataset stores). At census scale the
   /// matrix is ~300 MB; freezing a campaign into a dataset moves it
@@ -209,6 +250,7 @@ class Campaign {
   std::vector<std::uint8_t> rr_reachable_bits_;
   std::vector<std::uint16_t> responding_vp_counts_;
   CampaignAllocStats alloc_stats_;
+  CampaignPhaseStats phase_stats_;
 };
 
 }  // namespace rr::measure

@@ -1,5 +1,7 @@
 #include "probe/prober.h"
 
+#include <array>
+#include <cassert>
 #include <utility>
 
 #include "packet/icmp.h"
@@ -75,20 +77,7 @@ void Prober::probe_into(const ProbeSpec& spec, sim::SendContext* ctx,
   const std::uint16_t seq = next_seq_++;
 
   const std::size_t capacity_before = buf_.capacity();
-  if (spec.type == ProbeType::kPingRrUdp) {
-    const std::uint16_t dst_port = static_cast<std::uint16_t>(
-        pkt::kUdpProbePortBase + (next_udp_port_++ % 256));
-    pkt::build_udp_probe(buf_, source_address_, spec.target,
-                         static_cast<std::uint16_t>(0x8000 | seq), dst_port,
-                         spec.ttl, spec.rr_slots);
-  } else if (spec.type == ProbeType::kPingTs) {
-    pkt::build_ping_ts(buf_, source_address_, spec.target, icmp_id_, seq,
-                       spec.ttl, spec.rr_slots);
-  } else {
-    const int slots = spec.type == ProbeType::kPingRr ? spec.rr_slots : 0;
-    pkt::build_ping(buf_, source_address_, spec.target, icmp_id_, seq,
-                    spec.ttl, slots);
-  }
+  build_probe_into(spec, seq, buf_);
 
   out.target = spec.target;
   out.type = spec.type;
@@ -103,6 +92,81 @@ void Prober::probe_into(const ProbeSpec& spec, sim::SendContext* ctx,
   }
   if (buf_.capacity() != capacity_before) ++buffer_growths_;
   // RROPT_HOT_END(prober-probe)
+}
+
+void Prober::build_probe_into(const ProbeSpec& spec, std::uint16_t seq,
+                              std::vector<std::uint8_t>& buf) {
+  // RROPT_HOT_BEGIN(prober-build): serialization into recycled storage —
+  // shared by the scalar and batched paths, so their bytes are identical
+  // by construction.
+  if (spec.type == ProbeType::kPingRrUdp) {
+    const std::uint16_t dst_port = static_cast<std::uint16_t>(
+        pkt::kUdpProbePortBase + (next_udp_port_++ % 256));
+    pkt::build_udp_probe(buf, source_address_, spec.target,
+                         static_cast<std::uint16_t>(0x8000 | seq), dst_port,
+                         spec.ttl, spec.rr_slots);
+  } else if (spec.type == ProbeType::kPingTs) {
+    pkt::build_ping_ts(buf, source_address_, spec.target, icmp_id_, seq,
+                       spec.ttl, spec.rr_slots);
+  } else {
+    const int slots = spec.type == ProbeType::kPingRr ? spec.rr_slots : 0;
+    pkt::build_ping(buf, source_address_, spec.target, icmp_id_, seq,
+                    spec.ttl, slots);
+  }
+  // RROPT_HOT_END(prober-build)
+}
+
+void Prober::probe_batch_into(std::span<const ProbeSpec> specs,
+                              std::span<sim::SendContext> ctxs,
+                              std::span<ProbeResult> results) {
+  // RROPT_HOT_BEGIN(prober-batch): the campaign's inner loop when batching
+  // is on. Pacing, sequencing, and per-slot bookkeeping are exactly what a
+  // scalar probe_into sequence would do; only the network traversal is
+  // batched.
+  const std::size_t n = specs.size();
+  assert(n == ctxs.size() && n == results.size());
+  assert(n <= sim::WalkBatch::kMaxProbes);
+  if (batch_bufs_.size() < n) {
+    batch_bufs_.resize(n);  // RROPT_HOT_OK(alloc): one-time warm-up growth
+  }
+
+  std::array<sim::Network::BatchProbe, sim::WalkBatch::kMaxProbes> probes;
+  std::array<std::uint16_t, sim::WalkBatch::kMaxProbes> seqs;
+  std::array<std::size_t, sim::WalkBatch::kMaxProbes> capacities;
+  for (std::size_t k = 0; k < n; ++k) {
+    ProbeResult& out = results[k];
+    out.reset();
+    ctxs[k].trace.reset();
+    const double send_time = clock_;
+    clock_ += interval_;
+    ++sent_;
+    seqs[k] = next_seq_++;
+
+    std::vector<std::uint8_t>& buf = batch_bufs_[k];
+    capacities[k] = buf.capacity();
+    build_probe_into(specs[k], seqs[k], buf);
+
+    out.target = specs[k].target;
+    out.type = specs[k].type;
+    out.send_time = send_time;
+
+    probes[k].bytes = &buf;
+    probes[k].time = send_time;
+    probes[k].ctx = &ctxs[k];
+  }
+
+  network_->send_batch(source_, std::span{probes.data(), n});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    auto& delivery = probes[k].delivery;
+    if (delivery) {
+      parse_response_into(specs[k], seqs[k], results[k].send_time, *delivery,
+                          results[k]);
+      batch_bufs_[k] = std::move(delivery->bytes);
+    }
+    if (batch_bufs_[k].capacity() != capacities[k]) ++buffer_growths_;
+  }
+  // RROPT_HOT_END(prober-batch)
 }
 
 void Prober::parse_response_into(const ProbeSpec& spec, std::uint16_t seq,

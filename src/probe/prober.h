@@ -52,6 +52,17 @@ class Prober {
   void probe_into(const ProbeSpec& spec, sim::SendContext* ctx,
                   ProbeResult& out);
 
+  /// Batched variant: builds up to sim::WalkBatch::kMaxProbes datagrams
+  /// into recycled per-slot buffers and hands them to Network::send_batch,
+  /// which walks all forward legs (then all reply legs) element-pass-major.
+  /// Each slot gets its own SendContext so counters and traces stay
+  /// per-probe; pacing, sequence numbers, and parsing are identical to
+  /// calling probe_into once per spec, in order. `specs`, `ctxs`, and
+  /// `results` must have equal sizes.
+  void probe_batch_into(std::span<const ProbeSpec> specs,
+                        std::span<sim::SendContext> ctxs,
+                        std::span<ProbeResult> results);
+
   /// Classic traceroute: TTL-limited pings until the target answers or
   /// `max_ttl` is exhausted; `attempts` tries per hop.
   [[nodiscard]] TracerouteResult traceroute(net::IPv4Address target,
@@ -81,6 +92,11 @@ class Prober {
   }
 
  private:
+  /// Serializes the probe datagram for `spec` into `buf` (reused storage),
+  /// advancing the UDP destination-port rotation when applicable.
+  void build_probe_into(const ProbeSpec& spec, std::uint16_t seq,
+                        std::vector<std::uint8_t>& buf);
+
   void parse_response_into(const ProbeSpec& spec, std::uint16_t seq,
                            double send_time,
                            const sim::Network::Delivery& delivery,
@@ -98,6 +114,9 @@ class Prober {
   std::uint64_t matched_ = 0;
   std::uint64_t mismatched_ = 0;
   std::vector<std::uint8_t> buf_;  // probe/reply storage, recycled
+  // Per-slot storage for probe_batch_into, recycled the same way; grows to
+  // the batch width once and then stays flat.
+  std::vector<std::vector<std::uint8_t>> batch_bufs_;
   std::uint64_t buffer_growths_ = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "sim/network.h"
 
+#include <array>
 #include <bit>
+#include <cassert>
 #include <cstdlib>
 #include <utility>
 
@@ -511,6 +513,220 @@ std::optional<Network::Delivery> Network::send_reusing(
                         flow, ctx, fwd.doomed);
 }
 
+void Network::send_batch(HostId src, std::span<BatchProbe> probes) {
+  // The legacy branch forest has no batch kernel; per-slot scalar sends
+  // are the definition of correct there.
+  if (legacy_walk_) {
+    for (BatchProbe& probe : probes) {
+      probe.delivery = send_reusing(src, *probe.bytes, probe.time, probe.ctx);
+    }
+    return;
+  }
+  const std::size_t n = probes.size();
+  assert(n <= WalkBatch::kMaxProbes);
+
+  // Per-slot resolution state that must outlive the batched walks: the
+  // forward spine (scratch- or cache-backed) is still consulted after the
+  // walk for TTL-expiry error generation.
+  struct SlotState {
+    bool active = false;
+    std::uint64_t flow = 0;
+    topo::AsId dst_as = 0;
+    HostId dst_host = topo::kNoHost;
+    HostId reply_to = topo::kNoHost;
+    route::PathCache::EntryPtr fwd_entry;
+    std::span<const route::PathHop> fwd_hops;
+  };
+  std::array<SlotState, WalkBatch::kMaxProbes> slots;
+  WalkBatch batch;
+  const HopRow* rows = pipeline_.rows().data();
+  const topo::AsId src_as = topology_->host_at(src).as_id;
+
+  // Phase 1 — stage: replicate send_reusing's per-probe preamble exactly
+  // (trace reset, sent/unroutable accounting, flow key, forward-path
+  // resolution) and bind the survivors into the batch. Each slot works
+  // against its own SendContext, so per-slot work is order-independent.
+  for (std::size_t k = 0; k < n; ++k) {
+    BatchProbe& probe = probes[k];
+    probe.delivery.reset();
+    SendContext* ctx = probe.ctx;
+    assert(ctx != nullptr);  // batch sends are deferred-mode only
+    std::vector<std::uint8_t>& bytes = *probe.bytes;
+    SlotState& slot = slots[k];
+
+    // Probed router interfaces answer rather than forward; they are rare
+    // (alias-resolution traffic, never the campaign hot path), so peek —
+    // before any counter is touched — and take the scalar path per slot,
+    // which is bit-identical because a send's fate is a pure function of
+    // the packet given its own context.
+    const auto dst_addr = pkt::peek_destination(bytes);
+    std::optional<topo::AddressOwner> owner;
+    if (dst_addr) owner = topology_->owner_of(*dst_addr);
+    if (owner && owner->kind == topo::AddressOwner::Kind::kRouter) {
+      probe.delivery = send_reusing(src, bytes, probe.time, ctx);
+      continue;
+    }
+
+    NetCounters& c = ctx->counters;
+    ctx->trace.reset();
+    ++c.sent;
+    if (!dst_addr) continue;  // delivery stays nullopt, like send_reusing
+    if (!owner) {
+      ++c.dropped_unroutable;
+      continue;
+    }
+    const auto src_addr = pkt::peek_source(bytes);
+    if (!src_addr) continue;
+    const auto reply_to = host_owning(*src_addr);
+    if (!reply_to) {
+      ++c.dropped_unroutable;
+      continue;
+    }
+
+    // Same flow key as send_reusing; the serial-mode send-counter fold
+    // does not apply (ctx is always non-null here).
+    std::uint64_t flow = util::mix64(params_.seed ^ 0x5252464c4f57ULL);
+    flow = util::mix64(flow ^
+                       ((std::uint64_t{src} << 32) ^ dst_addr->value()));
+    flow = util::mix64(flow ^ std::bit_cast<std::uint64_t>(probe.time));
+
+    slot.dst_as = topology_->host_at(owner->id).as_id;
+    bool resolved = false;
+    bool routable = false;
+    if (fib_ != nullptr) {
+      switch (fib_->forward(src, owner->id, ctx->fwd_path_scratch)) {
+        case route::CompiledFib::Lookup::kHit:
+          slot.fwd_hops = ctx->fwd_path_scratch;
+          routable = true;
+          resolved = true;
+          break;
+        case route::CompiledFib::Lookup::kUnroutable:
+          resolved = true;
+          break;
+        case route::CompiledFib::Lookup::kMiss:
+          break;  // pair not compiled; consult the cache
+      }
+    }
+    if (!resolved) {
+      slot.fwd_entry = paths_.host_path(src, owner->id);
+      routable = slot.fwd_entry->routable;
+      if (routable) slot.fwd_hops = slot.fwd_entry->hops;
+    }
+    if (!routable) {
+      ++c.dropped_unroutable;
+      continue;
+    }
+
+    slot.flow = flow;
+    slot.dst_host = owner->id;
+    slot.reply_to = *reply_to;
+    slot.active = true;
+
+    HopContext& hc = batch.bind(k, bytes, slot.fwd_hops, probe.time);
+    hc.leg = 0;
+    hc.flow = flow;
+    hc.src_as = src_as;
+    hc.dst_as = slot.dst_as;
+    hc.counters = &c;
+    hc.fault_counters = &fault_counters_;
+    hc.trace = &ctx->trace;
+    batch.banks[k] = pipeline_.list_bank(hc.has_options);
+    // Warm the first pass's row while later slots resolve their paths.
+    if (!slot.fwd_hops.empty()) {
+      RROPT_PREFETCH(&rows[slot.fwd_hops[0].router]);
+    }
+  }
+
+  // Phase 2 — all forward legs, element-pass-major.
+  if (batch.live != 0) {
+    walk_batch_pipeline(batch, rows, pipeline_.elements(),
+                        params_.hop_delay_s);
+  }
+
+  // Phase 3 — per-slot outcome handling, mirroring send_reusing's
+  // post-walk switch, then reply staging: delivered slots build their
+  // reply (host_prepare_reply — the exact front half of host_respond) and
+  // rebind into the batch for the reverse leg.
+  std::array<BatchWalkResult, WalkBatch::kMaxProbes> fwd_results;
+  std::array<PendingReply, WalkBatch::kMaxProbes> pending;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (slots[k].active) fwd_results[k] = batch.results[k];
+  }
+  batch.clear();
+  for (std::size_t k = 0; k < n; ++k) {
+    SlotState& slot = slots[k];
+    if (!slot.active) continue;
+    BatchProbe& probe = probes[k];
+    SendContext* ctx = probe.ctx;
+    NetCounters& c = ctx->counters;
+    std::vector<std::uint8_t>& bytes = *probe.bytes;
+    const BatchWalkResult& fwd = fwd_results[k];
+    switch (fwd.outcome) {
+      case BatchWalkResult::Outcome::kDropped:
+        slot.active = false;
+        break;
+      case BatchWalkResult::Outcome::kTtlExpired: {
+        slot.active = false;
+        const auto& hop = slot.fwd_hops[fwd.expired_hop];
+        const RouterBehavior& rb = behaviors_->router(hop.router);
+        if (rb.anonymous) {
+          ++c.dropped_ttl;
+          break;
+        }
+        ++c.ttl_errors;
+        ctx->trace.counted_ttl_error = true;
+        // ICMP errors carry no options and are a cold path; the scalar
+        // emit helper (which walks the error home itself) is exact.
+        probe.delivery = emit_router_error(
+            hop.router, hop.ingress,
+            static_cast<std::uint8_t>(pkt::IcmpType::kTimeExceeded),
+            pkt::kCodeTtlExceededInTransit, bytes, slot.reply_to, fwd.time,
+            slot.flow, ctx);
+        break;
+      }
+      case BatchWalkResult::Outcome::kDelivered: {
+        if (!fwd.doomed) {
+          ++c.delivered;
+          ctx->trace.counted_delivered = true;
+        }
+        host_prepare_reply(slot.dst_host, slot.reply_to, bytes, fwd.time,
+                           slot.flow, ctx, fwd.doomed, pending[k]);
+        if (!pending[k].has_reply) {
+          slot.active = false;
+          break;
+        }
+        HopContext& hc = batch.bind(k, bytes, pending[k].rev_hops, fwd.time);
+        hc.doomed = fwd.doomed;
+        hc.leg = 1;
+        hc.flow = slot.flow;
+        hc.src_as = pending[k].src_as;
+        hc.dst_as = pending[k].dst_as;
+        hc.counters = &c;
+        hc.fault_counters = &fault_counters_;
+        hc.trace = &ctx->trace;
+        batch.banks[k] = pipeline_.list_bank(hc.has_options);
+        break;
+      }
+    }
+  }
+
+  // Phase 4 — all reply legs together.
+  if (batch.live != 0) {
+    walk_batch_pipeline(batch, rows, pipeline_.elements(),
+                        params_.hop_delay_s);
+  }
+
+  // Phase 5 — arrivals: the deliver_back tail per surviving slot.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!slots[k].active) continue;
+    const BatchWalkResult& rev = batch.results[k];
+    probes[k].delivery = finish_delivery(
+        *probes[k].bytes,
+        rev.outcome == BatchWalkResult::Outcome::kDelivered && !rev.doomed,
+        rev.time, pending[k].receiver, slots[k].flow, probes[k].ctx);
+  }
+}
+
 std::optional<Network::Delivery> Network::emit_router_error(
     RouterId router, net::IPv4Address from, std::uint8_t icmp_type,
     std::uint8_t code, std::vector<std::uint8_t>& offending, HostId reply_to,
@@ -545,17 +761,20 @@ std::optional<Network::Delivery> Network::emit_router_error(
                       reply_to, flow, ctx, /*doomed=*/false);
 }
 
-std::optional<Network::Delivery> Network::host_respond(
-    HostId dst, HostId reply_to, std::vector<std::uint8_t>& bytes, double time,
-    std::uint64_t flow, SendContext* ctx, bool doomed) {
+void Network::host_prepare_reply(HostId dst, HostId reply_to,
+                                 std::vector<std::uint8_t>& bytes, double time,
+                                 std::uint64_t flow, SendContext* ctx,
+                                 bool doomed, PendingReply& out) {
+  out.has_reply = false;
+  out.rev_entry = route::PathCache::EntryPtr{};
   NetCounters& c = counters_for(ctx);
   const HostBehavior& hb = behaviors_->host(dst);
   const auto info = pkt::inspect_datagram(bytes);
-  if (!info) return std::nullopt;
+  if (!info) return;
 
   // A host that ignores options packets ignores them for every transport.
   const bool has_options = info->options_present;
-  if (has_options && hb.rr_handling == RrHandling::kDrop) return std::nullopt;
+  if (has_options && hb.rr_handling == RrHandling::kDrop) return;
 
   // The host's IP-ID counter ticks for any accepted datagram, matching the
   // legacy reply construction which drew the ID before deciding whether a
@@ -565,9 +784,9 @@ std::optional<Network::Delivery> Network::host_respond(
   if (info->protocol == static_cast<std::uint8_t>(pkt::IpProto::kIcmp)) {
     if (info->icmp_type !=
         static_cast<std::uint8_t>(pkt::IcmpType::kEchoRequest)) {
-      return std::nullopt;
+      return;
     }
-    if (!hb.ping_responsive) return std::nullopt;
+    if (!hb.ping_responsive) return;
     if (has_options && hb.rr_handling == RrHandling::kCopy) {
       // RFC 1122 behaviour: the reply carries the request's Record Route
       // option; the destination records itself if a slot remains (and some
@@ -583,55 +802,57 @@ std::optional<Network::Delivery> Network::host_respond(
       pkt::finalize_checksums(bytes, info->header_bytes, info->total_length);
     } else {
       ReplyScratch& scratch = scratch_for(ctx);
-      build_into_scratch(scratch, [&](std::vector<std::uint8_t>& out) {
-        pkt::build_echo_reply_stripped(out, bytes, *info, ip_id);
+      build_into_scratch(scratch, [&](std::vector<std::uint8_t>& out_bytes) {
+        pkt::build_echo_reply_stripped(out_bytes, bytes, *info, ip_id);
       });
       std::swap(bytes, scratch.bytes);
     }
-    route::PathCache::EntryPtr rev_entry;
-    std::span<const route::PathHop> rev_hops;
-    if (!reverse_hops(dst, reply_to, ctx, rev_entry, rev_hops)) {
-      ++c.dropped_unroutable;
-      return std::nullopt;
+  } else {
+    // inspect_datagram only accepts ICMP or UDP, so this is the UDP
+    // branch: every probed UDP port is closed in this world.
+    if (!hb.ping_responsive || !hb.responds_udp) return;
+    if (!doomed) {
+      ++c.port_unreachables;
+      if (ctx != nullptr) ctx->trace.counted_port_unreachable = true;
     }
-    return deliver_back(bytes, rev_hops, time,
-                        topology_->host_at(dst).as_id,
-                        topology_->host_at(reply_to).as_id, reply_to, flow,
-                        ctx, doomed);
+    // Port unreachable, quoting the datagram as it arrived — including
+    // any RR stamps it accrued on the forward path.
+    const std::uint16_t error_id = next_ip_id(false, dst, time);
+    ReplyScratch& scratch = scratch_for(ctx);
+    build_into_scratch(scratch, [&](std::vector<std::uint8_t>& out_bytes) {
+      pkt::build_icmp_error(
+          out_bytes, static_cast<std::uint8_t>(pkt::IcmpType::kDestUnreachable),
+          pkt::kCodePortUnreachable, info->destination, info->source, error_id,
+          bytes, params_.quoted_payload_bytes);
+    });
+    if (fault_plan_.enabled() && fault_plan_.mangle_quote(flow) &&
+        pkt::mangle_icmp_quote(scratch.bytes)) {
+      fault_counters_.note(FaultKind::kQuoteMangle);
+    }
+    std::swap(bytes, scratch.bytes);
   }
 
-  // inspect_datagram only accepts ICMP or UDP, so this is the UDP branch:
-  // every probed UDP port is closed in this world.
-  if (!hb.ping_responsive || !hb.responds_udp) return std::nullopt;
-  if (!doomed) {
-    ++c.port_unreachables;
-    if (ctx != nullptr) ctx->trace.counted_port_unreachable = true;
-  }
-  // Port unreachable, quoting the datagram as it arrived — including any
-  // RR stamps it accrued on the forward path.
-  const std::uint16_t error_id = next_ip_id(false, dst, time);
-  ReplyScratch& scratch = scratch_for(ctx);
-  build_into_scratch(scratch, [&](std::vector<std::uint8_t>& out) {
-    pkt::build_icmp_error(
-        out, static_cast<std::uint8_t>(pkt::IcmpType::kDestUnreachable),
-        pkt::kCodePortUnreachable, info->destination, info->source, error_id,
-        bytes, params_.quoted_payload_bytes);
-  });
-  if (fault_plan_.enabled() && fault_plan_.mangle_quote(flow) &&
-      pkt::mangle_icmp_quote(scratch.bytes)) {
-    fault_counters_.note(FaultKind::kQuoteMangle);
-  }
-  std::swap(bytes, scratch.bytes);
-  route::PathCache::EntryPtr rev_entry;
-  std::span<const route::PathHop> rev_hops;
-  if (!reverse_hops(dst, reply_to, ctx, rev_entry, rev_hops)) {
+  if (!reverse_hops(dst, reply_to, ctx, out.rev_entry, out.rev_hops)) {
     ++c.dropped_unroutable;
-    return std::nullopt;
+    return;
   }
-  return deliver_back(bytes, rev_hops, time,
-                      topology_->host_at(dst).as_id,
-                      topology_->host_at(reply_to).as_id, reply_to, flow, ctx,
-                      doomed);
+  out.src_as = topology_->host_at(dst).as_id;
+  out.dst_as = topology_->host_at(reply_to).as_id;
+  out.receiver = reply_to;
+  out.has_reply = true;
+}
+
+std::optional<Network::Delivery> Network::host_respond(
+    HostId dst, HostId reply_to, std::vector<std::uint8_t>& bytes, double time,
+    std::uint64_t flow, SendContext* ctx, bool doomed) {
+  // Prepare + reverse walk: the batched path runs the same two pieces
+  // with a batch kernel between them, so both paths share every
+  // observable byte by construction.
+  PendingReply pending;
+  host_prepare_reply(dst, reply_to, bytes, time, flow, ctx, doomed, pending);
+  if (!pending.has_reply) return std::nullopt;
+  return deliver_back(bytes, pending.rev_hops, time, pending.src_as,
+                      pending.dst_as, pending.receiver, flow, ctx, doomed);
 }
 
 std::optional<Network::Delivery> Network::router_respond(
@@ -680,20 +901,25 @@ std::optional<Network::Delivery> Network::deliver_back(
     std::uint64_t flow, SendContext* ctx, bool doomed) {
   const auto result =
       walk(bytes, hops, start, src_as, dst_as, flow, /*leg=*/1, ctx, doomed);
-  if (result.outcome != WalkOutcome::kDelivered) {
+  return finish_delivery(
+      bytes, result.outcome == WalkOutcome::kDelivered && !result.doomed,
+      result.time, receiver, flow, ctx);
+}
+
+std::optional<Network::Delivery> Network::finish_delivery(
+    std::vector<std::uint8_t>& bytes, bool delivered_undoomed, double time,
+    HostId receiver, std::uint64_t flow, SendContext* ctx) {
+  if (!delivered_undoomed) {
     // A reply that expires or is dropped on the way back simply never
-    // arrives; errors about errors are not generated (RFC 1122).
-    return std::nullopt;
-  }
-  if (result.doomed) {
-    // The ghost leg of a fault-doomed exchange: the reverse path's budget
-    // was consumed exactly as in the baseline, but nothing arrives.
+    // arrives (errors about errors are not generated, RFC 1122) — and the
+    // ghost leg of a fault-doomed exchange consumed the reverse path's
+    // budget exactly as in the baseline, but nothing arrives either.
     return std::nullopt;
   }
   NetCounters& c = counters_for(ctx);
   ++c.responses;
   if (ctx != nullptr) ctx->trace.counted_response = true;
-  Delivery delivery{std::move(bytes), result.time, receiver};
+  Delivery delivery{std::move(bytes), time, receiver};
   if (fault_plan_.enabled()) {
     // Capture-point faults: an extra identical copy, or a late arrival.
     // Neither changes the bytes, so campaign contents are untouched; the

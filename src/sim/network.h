@@ -142,6 +142,29 @@ class Network {
                                        std::vector<std::uint8_t>& bytes,
                                        double time, SendContext* ctx = nullptr);
 
+  /// One slot of a batched send (send_batch). `bytes` and `ctx` follow the
+  /// send_reusing contract per slot; batch sends are deferred-mode only,
+  /// so `ctx` must be non-null and distinct per slot. On return `delivery`
+  /// holds exactly what send_reusing would have returned for the probe.
+  struct BatchProbe {
+    std::vector<std::uint8_t>* bytes = nullptr;
+    double time = 0.0;
+    SendContext* ctx = nullptr;
+    std::optional<Delivery> delivery;
+  };
+
+  /// Batched variant of send_reusing: up to WalkBatch::kMaxProbes probes
+  /// from one source, resolved per slot and then walked element-pass-major
+  /// across the whole batch (walk_batch_pipeline) — all forward legs
+  /// together, then all reply legs together. Bit-identical to calling
+  /// send_reusing per slot with the same contexts: every random decision
+  /// is a counter-based draw keyed on the packet, and bucket consumes are
+  /// deferred per slot into each ctx's trace exactly as in scalar deferred
+  /// mode, so slot interleaving is unobservable. Probes aimed at router
+  /// interfaces — and every probe when the legacy engine is selected —
+  /// take the scalar path per slot (identical by per-slot purity).
+  void send_batch(HostId src, std::span<BatchProbe> probes);
+
   /// Serial-phase resolution of one deferred options-token consume.
   /// Callers must feed events in their chosen canonical order (the
   /// campaign uses virtual-time order); concurrent calls are not allowed —
@@ -151,6 +174,23 @@ class Network {
       RROPT_EXCLUDES(serial_gate_) {
     util::SerialGateLock gate(serial_gate_);
     return bucket_for(router).try_consume(now);
+  }
+
+  /// Snapshot of one router's options token bucket, for the campaign's
+  /// sharded Pass B replay: shards replay per-router event queues against
+  /// campaign-owned copies (TokenBucket is a four-field value type) and
+  /// commit the survivors back with set_options_bucket_state. Both are
+  /// serial-phase operations, like try_consume_options_token — the
+  /// network's buckets are never touched from pool threads.
+  [[nodiscard]] TokenBucket options_bucket_state(RouterId router)
+      RROPT_EXCLUDES(serial_gate_) {
+    util::SerialGateLock gate(serial_gate_);
+    return bucket_for(router);
+  }
+  void set_options_bucket_state(RouterId router, const TokenBucket& state)
+      RROPT_EXCLUDES(serial_gate_) {
+    util::SerialGateLock gate(serial_gate_);
+    bucket_for(router) = state;
   }
 
   /// Folds a per-worker counter tally into the network totals. Serial
@@ -291,6 +331,37 @@ class Network {
                                        std::vector<std::uint8_t>& bytes,
                                        double time, std::uint64_t flow,
                                        SendContext* ctx, bool doomed);
+
+  /// Host-side reply staging for a batched delivery: everything
+  /// host_respond does before the reverse walk — drop-policy checks,
+  /// IP-ID draw, reply construction (in place or via the scratch swap),
+  /// and reverse-path resolution. `out.has_reply` is false when no reply
+  /// would be generated; otherwise `bytes` holds the built reply and
+  /// `out` pins/views the reverse path to walk. The scalar host_respond
+  /// is this followed by deliver_back, so the two paths share every
+  /// observable byte.
+  struct PendingReply {
+    bool has_reply = false;
+    route::PathCache::EntryPtr rev_entry;  // pins cache-backed rev_hops
+    std::span<const route::PathHop> rev_hops;
+    topo::AsId src_as = 0;
+    topo::AsId dst_as = 0;
+    HostId receiver = topo::kNoHost;
+  };
+
+  void host_prepare_reply(HostId dst, HostId reply_to,
+                          std::vector<std::uint8_t>& bytes, double time,
+                          std::uint64_t flow, SendContext* ctx, bool doomed,
+                          PendingReply& out);
+
+  /// The arrival tail of deliver_back, shared by the scalar and batched
+  /// reply legs: response accounting plus the capture-point faults.
+  /// `delivered_undoomed` is "the reverse walk delivered and the exchange
+  /// is not a fault ghost"; anything else never arrives.
+  std::optional<Delivery> finish_delivery(std::vector<std::uint8_t>& bytes,
+                                          bool delivered_undoomed, double time,
+                                          HostId receiver, std::uint64_t flow,
+                                          SendContext* ctx);
 
   /// Response from a directly probed router interface.
   std::optional<Delivery> router_respond(RouterId router,

@@ -36,11 +36,24 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <span>
 
+#include "routing/stitcher.h"
 #include "sim/behavior.h"
 #include "sim/element.h"
 #include "topology/topology.h"
+
+/// Software prefetch of the cache line holding `p`. Advisory only: the
+/// batched walk issues one per slot for the *next* pass's HopRow while the
+/// current pass executes, hiding the dependent row load behind the
+/// element work of the pass in flight.
+#if defined(__GNUC__) || defined(__clang__)
+#define RROPT_PREFETCH(p) __builtin_prefetch(p)
+#else
+#define RROPT_PREFETCH(p) ((void)0)
+#endif
 
 namespace rr::sim {
 
@@ -155,6 +168,85 @@ inline HopVerdict run_hop(PackedRunList list, const ElementSet& es,
   return HopVerdict::kContinue;
   // RROPT_HOT_END(pipeline-run-hop)
 }
+
+/// Per-slot outcome of a batched walk — the pipeline-level mirror of
+/// Network's private WalkResult. A default-constructed result is a drop
+/// (time 0, not doomed), exactly what the scalar walk returns for one.
+struct BatchWalkResult {
+  enum class Outcome : std::uint8_t {
+    kDropped = 0,
+    kDelivered = 1,
+    kTtlExpired = 2,
+  };
+  Outcome outcome = Outcome::kDropped;
+  std::uint32_t expired_hop = 0;  // valid when kTtlExpired
+  double time = 0.0;
+  bool doomed = false;  // walked the full path but a fault discarded it
+};
+
+/// A structure-of-arrays batch of in-flight walks for
+/// walk_batch_pipeline: each slot holds a bound header view, its per-leg
+/// HopContext, its run-list bank, its path spine, and its result.
+/// The caller binds up to kMaxProbes slots (bind()), fills the per-leg
+/// context fields the scalar walk would have filled, and hands the batch
+/// to the kernel. Non-copyable: each slot's HopContext points at the
+/// view stored in the same batch.
+struct WalkBatch {
+  static constexpr std::size_t kMaxProbes = 16;
+
+  WalkBatch() = default;
+  WalkBatch(const WalkBatch&) = delete;
+  WalkBatch& operator=(const WalkBatch&) = delete;
+
+  std::size_t size = 0;
+  std::uint32_t live = 0;  // bitmask of slots still walking
+  pkt::Ipv4HeaderView views[kMaxProbes];
+  HopContext hc[kMaxProbes];
+  const PackedRunList* banks[kMaxProbes] = {};
+  std::span<const route::PathHop> hops[kMaxProbes];
+  BatchWalkResult results[kMaxProbes];
+
+  /// Empties the batch for reuse (slot state is rebuilt by bind()).
+  void clear() noexcept {
+    size = 0;
+    live = 0;
+  }
+
+  /// Binds slot `i` to a datagram buffer and a path spine starting at
+  /// virtual time `start`, resetting the slot's context and result.
+  /// Returns the slot's HopContext so the caller can fill the remaining
+  /// per-leg fields (flow, leg, ASes, counters, trace, doomed) and pick
+  /// the slot's run-list bank from `hc.has_options`.
+  HopContext& bind(std::size_t i, std::span<std::uint8_t> bytes,
+                   std::span<const route::PathHop> path,
+                   double start) noexcept {
+    views[i] = pkt::Ipv4HeaderView{bytes};
+    HopContext& ctx = hc[i];
+    ctx = HopContext{};
+    ctx.view = &views[i];
+    ctx.bytes = bytes;
+    ctx.has_options = views[i].has_options();
+    ctx.now = start;
+    hops[i] = path;
+    results[i] = BatchWalkResult{};
+    live |= 1u << i;
+    if (i >= size) size = i + 1;
+    return ctx;
+  }
+};
+
+/// Drives every live slot of `b` through the compiled pipeline. Each
+/// slot's walk executes as bursts: maximal runs of the census's dominant
+/// single-op TTL/stamp personalities run against a register-resident copy
+/// of the slot's header view (written back only at run boundaries), with
+/// the next hop's HopRow prefetched a hop ahead and every slot's first
+/// row prefetched before any slot walks; everything else goes through the
+/// scalar run_hop interpreter on the slot's own HopContext. Results land
+/// in b.results; semantics are bit-identical to running the scalar walk
+/// loop over each slot (the batch differential test proves it at dataset
+/// level).
+void walk_batch_pipeline(WalkBatch& b, const HopRow* rows,
+                         const ElementSet& es, double hop_delay_s);
 
 /// The frozen dataplane: per-router HopRows plus the run-list table and
 /// the configured element set. Built once when the Network binds a frozen

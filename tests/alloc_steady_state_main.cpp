@@ -76,7 +76,9 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept {
 }
 
 #include <algorithm>
+#include <array>
 #include <memory>
+#include <span>
 
 #include "measure/campaign.h"
 #include "measure/testbed.h"
@@ -155,6 +157,61 @@ void steady_state_prober_test(rr::measure::Testbed& testbed) {
   CHECK(matched > n / 2);  // the sweep must be exercising real exchanges
 }
 
+void steady_state_batch_test(rr::measure::Testbed& testbed) {
+  // Same promise as the scalar sweep, for the batched walk: once the
+  // per-slot buffers, contexts, and result vectors have seen the largest
+  // probe/reply geometry, a full probe_batch_into round trip (build ->
+  // batched walks -> parse) allocates nothing.
+  auto prober = testbed.make_prober(testbed.vps().back()->host, 20.0);
+  constexpr std::size_t kBatch = rr::sim::WalkBatch::kMaxProbes;
+  std::array<rr::sim::SendContext, kBatch> ctxs;
+  std::array<rr::probe::ProbeResult, kBatch> results;
+  std::array<rr::probe::ProbeSpec, kBatch> specs;
+
+  const auto& topology = testbed.topology();
+  const std::size_t n =
+      std::min<std::size_t>(topology.destinations().size(), 64);
+
+  const auto sweep_once = [&] {
+    std::uint64_t matched = 0;
+    for (std::size_t i = 0; i < n; i += kBatch) {
+      const std::size_t m = std::min(kBatch, n - i);
+      for (std::size_t k = 0; k < m; ++k) {
+        const auto target =
+            topology.host_at(topology.destinations()[i + k]).address;
+        specs[k] = rr::probe::ProbeSpec::ping_rr(target);
+      }
+      prober.probe_batch_into(
+          std::span<const rr::probe::ProbeSpec>{specs.data(), m},
+          std::span<rr::sim::SendContext>{ctxs.data(), m},
+          std::span<rr::probe::ProbeResult>{results.data(), m});
+      for (std::size_t k = 0; k < m; ++k) {
+        if (results[k].kind != rr::probe::ResponseKind::kNone) ++matched;
+      }
+    }
+    return matched;
+  };
+
+  sweep_once();
+  sweep_once();
+
+  const std::uint64_t allocations_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t buffer_growths_before = prober.buffer_growths();
+
+  const std::uint64_t matched = sweep_once();
+
+  const std::uint64_t allocated =
+      g_allocations.load(std::memory_order_relaxed) - allocations_before;
+  std::printf("steady-state batch sweep: %zu exchanges, %llu responses, "
+              "%llu heap allocations\n",
+              n, static_cast<unsigned long long>(matched),
+              static_cast<unsigned long long>(allocated));
+  CHECK_EQ_U64(allocated, 0);
+  CHECK_EQ_U64(prober.buffer_growths(), buffer_growths_before);
+  CHECK(matched > n / 2);
+}
+
 void campaign_alloc_stats_test(rr::measure::Testbed& testbed) {
   rr::measure::CampaignConfig config;
   config.threads = 1;
@@ -179,8 +236,9 @@ void campaign_alloc_stats_test(rr::measure::Testbed& testbed) {
   CHECK_EQ_U64(a.probe_buffer_growths, b.probe_buffer_growths);
   CHECK_EQ_U64(a.reply_scratch_growths, b.reply_scratch_growths);
   CHECK(a.probe_streams > 0);
-  CHECK(a.probe_buffer_growths <= a.probe_streams * 8);
-  CHECK(a.reply_scratch_growths <= a.probe_streams * 8);
+  CHECK(a.probe_buffers >= a.probe_streams);
+  CHECK(a.probe_buffer_growths <= a.probe_buffers * 8);
+  CHECK(a.reply_scratch_growths <= a.probe_buffers * 8);
 }
 
 }  // namespace
@@ -193,6 +251,7 @@ int main() {
   auto testbed = std::make_unique<rr::measure::Testbed>(config);
 
   steady_state_prober_test(*testbed);
+  steady_state_batch_test(*testbed);
   campaign_alloc_stats_test(*testbed);
 
   if (g_failures != 0) {

@@ -1,0 +1,24 @@
+// bad: no-hot-alloc — the batched walk kernels (walk_batch_pipeline /
+// walk_batch_slot, sim/pipeline.cpp) are hot regions by contract, with no
+// RROPT_HOT markers needed: they are the per-hop dataplane with the probe
+// loop inverted.
+#include <cstddef>
+#include <vector>
+
+namespace rr::sim {
+
+struct Batch {
+  std::vector<int> results;
+};
+
+void walk_batch_slot(Batch& b, std::size_t p) {
+  b.results.push_back(static_cast<int>(p));  // finding: no-hot-alloc
+}
+
+void walk_batch_pipeline(Batch& b) {
+  int* scratch = new int[b.results.size() + 1];  // finding: no-hot-alloc
+  delete[] scratch;
+  for (std::size_t p = 0; p < b.results.size(); ++p) walk_batch_slot(b, p);
+}
+
+}  // namespace rr::sim

@@ -133,6 +133,30 @@ TEST(LintRules, ElementProcessBodyIsImplicitlyHot) {
   EXPECT_TRUE(lint_file("src/analysis/x.h", "#pragma once\n" + body).empty());
 }
 
+TEST(LintRules, BatchWalkKernelsAreImplicitlyHot) {
+  const std::string body =
+      "void walk_batch_slot(B& b, int p) {\n"
+      "  b.v.push_back(p);\n"
+      "}\n"
+      "void walk_batch_pipeline(B& b) {\n"
+      "  int* s = new int[4];\n"
+      "  delete[] s;\n"
+      "}\n";
+  const auto findings = lint_file("src/sim/x.cpp", body);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "no-hot-alloc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].rule, "no-hot-alloc");
+  EXPECT_EQ(findings[1].line, 5);
+  // Call sites do not open hot regions.
+  EXPECT_TRUE(lint_file("src/measure/x.cpp",
+                        "void f(B& b) {\n"
+                        "  walk_batch_pipeline(b);\n"
+                        "  b.v.push_back(1);\n"
+                        "}\n")
+                  .empty());
+}
+
 TEST(LintRules, ProcessBodyWaiversAndNonDefinitions) {
   // RROPT_HOT_OK waives a line inside the implicit hot body as usual.
   EXPECT_TRUE(lint_file("src/sim/x.h",

@@ -356,18 +356,22 @@ class Checker {
     };
 
     // Dataplane element process() bodies are implicitly hot (the contract
-    // of sim/element.h): every per-hop element body obeys the same
-    // no-allocation rule as a marker-delimited RROPT_HOT region, without
-    // each element needing its own markers. This pre-pass records the
-    // body line ranges of `process(...) ... { ... }` *definitions* in
-    // determinism-scope files; calls and declarations (which hit ';',
-    // ',', '=' or a closing paren before any '{') are ignored.
-    // RROPT_HOT_OK waives individual lines as usual.
+    // of sim/element.h), and so are the batched walk kernels
+    // (sim/pipeline.cpp's walk_batch_pipeline / walk_batch_slot) — the
+    // same per-hop dataplane with the probe loop inverted: every such
+    // body obeys the same no-allocation rule as a marker-delimited
+    // RROPT_HOT region, without each function needing its own markers.
+    // This pre-pass records the body line ranges of `<name>(...) ... {
+    // ... }` *definitions* in determinism-scope files; calls and
+    // declarations (which hit ';', ',', '=' or a closing paren before any
+    // '{') are ignored. RROPT_HOT_OK waives individual lines as usual.
+    static const std::unordered_set<std::string> kImplicitHotFns{
+        "process", "walk_batch_pipeline", "walk_batch_slot"};
     std::vector<std::pair<int, int>> process_bodies;
     if (scope_.determinism) {
       const auto& toks = lexed_.tokens;
       for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-        if (!toks[i].is_ident || toks[i].text != "process" ||
+        if (!toks[i].is_ident || kImplicitHotFns.count(toks[i].text) == 0 ||
             toks[i + 1].text != "(") {
           continue;
         }
@@ -482,8 +486,9 @@ class Checker {
           lexed_.directives.hot_ok.count(tok.line) == 0) {
         report(tok.line, "no-hot-alloc",
                "'" + tok.text + "' allocates inside a hot region (RROPT_HOT "
-               "markers, or an element process() body — those are hot by "
-               "contract); preallocate, or waive the line with "
+               "markers, an element process() body, or a batched walk "
+               "kernel — those are hot by contract); preallocate, or waive "
+               "the line with "
                "'// RROPT_HOT_OK: <why this is steady-state-free>'");
       }
 
@@ -606,8 +611,10 @@ std::vector<std::string> rule_descriptions() {
       "no-stream-io — <iostream>/printf/cout banned in packet/, sim/, "
       "probe/, netbase/, routing/, measure/",
       "no-hot-alloc — allocation keywords banned between RROPT_HOT_BEGIN "
-      "and RROPT_HOT_END, and inside dataplane element process() bodies "
-      "in sim/, measure/, routing/, unless waived with RROPT_HOT_OK",
+      "and RROPT_HOT_END, inside dataplane element process() bodies, and "
+      "inside the batched walk kernels (walk_batch_pipeline / "
+      "walk_batch_slot) in sim/, measure/, routing/, unless waived with "
+      "RROPT_HOT_OK",
       "raw-mutex — std::mutex members only under util/ (use util::Mutex "
       "so Clang TSA sees the locks)",
       "umbrella-include — \"rropt.h\" must not be included from inside "
