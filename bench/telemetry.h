@@ -93,6 +93,12 @@ class Telemetry {
     if (!has_value("peak_rss_mib")) {
       value("peak_rss_mib", peak_rss_mib());
     }
+    // Uniform probing-cost triple (PR 9): benches that drive probes
+    // overwrite these; the defaults keep the schema identical across the
+    // suite so run_benches.sh can tabulate every bench the same way.
+    if (!has_value("probes_sent")) value("probes_sent", std::uint64_t{0});
+    if (!has_value("probes_saved")) value("probes_saved", std::uint64_t{0});
+    if (!has_value("stopset_hit_rate")) value("stopset_hit_rate", 0.0);
     const double total = seconds_since(start_);
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");

@@ -77,6 +77,21 @@ if [[ -n "$fresh_hash" && -n "$ref_hash" ]]; then
   fi
 fi
 
+# Figure 5 row contents are bit-reproducible (with stop sets on or off, at
+# any thread count), so any drift in the rows hash means the TTL study's
+# numbers changed — an error, exactly like dataset_hash.
+fresh_fig5=$(extract_string "$fresh" fig5_rows_hash)
+ref_fig5=$(extract_string "$reference" fig5_rows_hash)
+if [[ -n "$fresh_fig5" && -n "$ref_fig5" ]]; then
+  if [[ "$fresh_fig5" != "$ref_fig5" ]]; then
+    echo "check_bench_regression: fig5_rows_hash drifted:" \
+         "$ref_fig5 -> $fresh_fig5 (Figure 5 contents changed)" >&2
+    failures=1
+  else
+    echo "fig5_rows_hash: $fresh_fig5 (matches reference)"
+  fi
+fi
+
 # ------------------------------------------------------- tolerance-banded
 # check_band <label> <fresh> <ref> <tolerance>; empty values skip (not
 # every bench has every phase, and non-Linux runs report rss 0).
@@ -157,6 +172,28 @@ if [[ -n "$fresh_walk_batch_speedup" ]]; then
 fi
 check_band "walk_batch8_ns" "$fresh_walk_batch8" \
   "$(extract "$reference" walk_batch8_ns)" "$tolerance" || failures=1
+
+# ------------------------------------------------ stop-set probing gates
+# The trace census (BENCH_trace.json only) must keep delivering the
+# Doubletree win: the honest off-vs-on probe reduction carries a hard
+# floor (RROPT_STOPSET_REDUCTION, default 0.40). A stop-set change that
+# stops saving probes is a perf regression of the subsystem's entire
+# reason to exist, no matter how the wall-clock bands look.
+stopset_reduction_floor=${RROPT_STOPSET_REDUCTION:-0.40}
+fresh_reduction=$(extract "$fresh" stopset_reduction)
+if [[ -n "$fresh_reduction" ]]; then
+  awk -v r="$fresh_reduction" -v floor="$stopset_reduction_floor" '
+    BEGIN {
+      printf "stopset_reduction: %.1f%% (floor %.0f%%)\n",
+             r * 100, floor * 100
+      if (r < floor) {
+        printf "check_bench_regression: stop-set probe reduction %.1f%% " \
+               "below the %.0f%% floor\n", r * 100,
+               floor * 100 > "/dev/stderr"
+        exit 1
+      }
+    }' || failures=1
+fi
 
 if [[ "$failures" -ne 0 ]]; then
   exit 1

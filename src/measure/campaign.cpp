@@ -117,6 +117,7 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
 
   sim::Network& net = testbed.network();
   net.reset();
+  const std::uint64_t net_sent_before = net.counters().sent;
   // Install the run's fault schedule (inert by default). Setting it every
   // run also clears any plan a previous campaign left on the network.
   net.set_fault_plan(sim::FaultPlan{config.faults});
@@ -472,6 +473,7 @@ Campaign Campaign::run(Testbed& testbed, const CampaignConfig& config) {
   campaign.alloc_stats_.probe_streams += n_vps;
   campaign.alloc_stats_.probe_buffers += n_vps * batch;
 
+  campaign.phase_stats_.probes_sent = net.counters().sent - net_sent_before;
   campaign.finalize_derived();
 
   util::log_info() << "campaign complete: " << n_vps << " VPs x " << n_dests

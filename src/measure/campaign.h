@@ -145,6 +145,10 @@ struct CampaignPhaseStats {
   double pass_b_seconds = 0.0;
   std::uint64_t sharded_chunks = 0;
   std::uint64_t serial_fallback_chunks = 0;
+  /// Probes this campaign drove through the network (ping + ping-RR
+  /// studies), from the network's own send accounting — the uniform
+  /// probing-cost figure benches report alongside stop-set savings.
+  std::uint64_t probes_sent = 0;
 
   [[nodiscard]] double serial_fraction() const noexcept {
     const double total = pass_a_seconds + pass_b_seconds;

@@ -1,0 +1,221 @@
+#include "measure/stopset.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace rr::measure {
+namespace {
+
+// Key tags (2 bits at 56..57; bits 58+ stay zero pre-mix so the packed
+// value is lossless in 58 bits).
+constexpr std::uint64_t kTagLocal = 0;
+constexpr std::uint64_t kTagGlobal = 1;
+constexpr std::uint64_t kTagPathPoint = 2;
+constexpr std::uint64_t kTagReachPoint = 3;
+
+/// Bijective: distinct packed facts map to distinct keys, so the set has
+/// no cross-fact collisions — only deliberate Doubletree sharing.
+[[nodiscard]] std::uint64_t key_of(std::uint64_t packed) noexcept {
+  const std::uint64_t mixed = util::mix64(packed);
+  // 0 is the empty-slot sentinel; remap the single colliding input.
+  return mixed != 0 ? mixed : 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace
+
+net::IPv4Address stopset_prefix_of(net::IPv4Address a) noexcept {
+  return net::IPv4Address{a.value() & 0xffffff00u};
+}
+
+std::uint64_t local_stop_key(net::IPv4Address iface, int ttl) noexcept {
+  return key_of((kTagLocal << 56) | (std::uint64_t{iface.value()} << 8) |
+                (static_cast<std::uint64_t>(ttl) & 0xff));
+}
+
+std::uint64_t global_stop_key(net::IPv4Address iface,
+                              net::IPv4Address dest) noexcept {
+  // iface (32b) + dest /24 (24b) + tag = 58 bits.
+  return key_of((kTagGlobal << 56) | (std::uint64_t{iface.value()} << 24) |
+                (stopset_prefix_of(dest).value() >> 8));
+}
+
+std::uint64_t path_point_key(net::IPv4Address dest, int ttl) noexcept {
+  return key_of((kTagPathPoint << 56) |
+                (std::uint64_t{stopset_prefix_of(dest).value()} << 8) |
+                (static_cast<std::uint64_t>(ttl) & 0xff));
+}
+
+std::uint64_t reach_point_key(net::IPv4Address dest, int ttl) noexcept {
+  return key_of((kTagReachPoint << 56) |
+                (std::uint64_t{stopset_prefix_of(dest).value()} << 8) |
+                (static_cast<std::uint64_t>(ttl) & 0xff));
+}
+
+// ------------------------------------------------------------- StopSet
+
+StopSet::StopSet(std::size_t expected_keys) {
+  // 2x headroom over the expectation, split across stripes, each a power
+  // of two and at least 64 slots; inserts cap at 3/4 load per stripe so
+  // the lock-free probe loop always terminates on an empty slot.
+  const std::size_t per_stripe =
+      std::max<std::size_t>(64, (expected_keys * 2) / kStripes + 1);
+  stripe_capacity_ = std::bit_ceil(per_stripe);
+  stripe_mask_ = stripe_capacity_ - 1;
+  stripe_limit_ = stripe_capacity_ - stripe_capacity_ / 4;
+  slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(kStripes *
+                                                          stripe_capacity_);
+  for (std::size_t i = 0; i < kStripes * stripe_capacity_; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+  stripes_ = std::make_unique<Stripe[]>(kStripes);
+}
+
+bool StopSet::contains(std::uint64_t key) const noexcept {
+  // RROPT_HOT_BEGIN(stopset-contains): membership sits on the probing hot
+  // path (one check per candidate probe); lock-free acquire loads over
+  // the stripe's open-addressing run, no allocation, no mutex.
+  const std::atomic<std::uint64_t>* slots = stripe_slots(stripe_of(key));
+  std::size_t i = key & stripe_mask_;
+  for (;;) {
+    const std::uint64_t v = slots[i].load(std::memory_order_acquire);
+    if (v == key) return true;
+    if (v == 0) return false;
+    i = (i + 1) & stripe_mask_;
+  }
+  // RROPT_HOT_END(stopset-contains)
+}
+
+bool StopSet::insert(std::uint64_t key) {
+  const std::size_t s = stripe_of(key);
+  Stripe& stripe = stripes_[s];
+  std::atomic<std::uint64_t>* slots = stripe_slots(s);
+  util::MutexLock lock(stripe.mu);
+  std::size_t i = key & stripe_mask_;
+  for (;;) {
+    // Writers are serialized per stripe, so a relaxed read of our own
+    // stripe is exact; the release store below pairs with readers'
+    // acquire loads.
+    const std::uint64_t v = slots[i].load(std::memory_order_relaxed);
+    if (v == key) return false;
+    if (v == 0) break;
+    i = (i + 1) & stripe_mask_;
+  }
+  if (stripe.size >= stripe_limit_) {
+    overflows_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots[i].store(key, std::memory_order_release);
+  ++stripe.size;
+  return true;
+}
+
+std::size_t StopSet::insert_all(std::span<const std::uint64_t> keys) {
+  std::size_t inserted = 0;
+  for (const std::uint64_t key : keys) {
+    if (insert(key)) ++inserted;
+  }
+  return inserted;
+}
+
+std::size_t StopSet::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    util::MutexLock lock(stripes_[s].mu);
+    total += stripes_[s].size;
+  }
+  return total;
+}
+
+// ------------------------------------------------------ DoubletreeGate
+
+DoubletreeGate::DoubletreeGate(StopSet* local, StopSet* global, Config config)
+    : local_(local), global_(global), config_(config) {
+  if (config_.remember_paths) {
+    chain_.resize(static_cast<std::size_t>(config_.max_ttl) + 1);
+    chain_seen_.resize(static_cast<std::size_t>(config_.max_ttl) + 1, false);
+  }
+}
+
+int DoubletreeGate::begin(net::IPv4Address target) {
+  finish_trace();
+  target_prefix_ = stopset_prefix_of(target);
+  return config_.first_hop;
+}
+
+void DoubletreeGate::finish_trace() {
+  if (!config_.remember_paths) return;
+  // Memoize every (interface, TTL) fact whose below-chain this trace saw
+  // completely: a later backward stop at that fact can then backfill the
+  // exact hops probing would have re-discovered. Facts above the first
+  // unresponsive hop are not certifiable and stay out of the local set.
+  std::size_t complete_below = 0;  // hops 1..complete_below all seen
+  while (complete_below + 1 < chain_seen_.size() &&
+         chain_seen_[complete_below + 1]) {
+    ++complete_below;
+  }
+  for (std::size_t ttl = 1; ttl <= complete_below; ++ttl) {
+    const std::uint64_t key =
+        local_stop_key(chain_[ttl], static_cast<int>(ttl));
+    if (local_ != nullptr && local_->insert(key)) {
+      memo_[key].assign(chain_.begin() + 1,
+                        chain_.begin() + static_cast<std::ptrdiff_t>(ttl));
+    }
+  }
+  std::fill(chain_seen_.begin(), chain_seen_.end(), false);
+}
+
+bool DoubletreeGate::stop_forward(net::IPv4Address iface, int ttl) {
+  (void)ttl;
+  if (global_ == nullptr || !config_.forward_stop) return false;
+  ++stats_.checks;
+  if (global_->contains(global_stop_key(iface, target_prefix_))) {
+    ++stats_.hits;
+    return true;
+  }
+  return false;
+}
+
+bool DoubletreeGate::stop_backward(net::IPv4Address iface, int ttl) {
+  if (local_ == nullptr || !config_.backward_stop) return false;
+  ++stats_.checks;
+  const std::uint64_t key = local_stop_key(iface, ttl);
+  if (!local_->contains(key)) return false;
+  if (config_.remember_paths && memo_.find(key) == memo_.end()) {
+    // Path-memo mode only stops where it can reproduce the skipped hops.
+    return false;
+  }
+  ++stats_.hits;
+  return true;
+}
+
+void DoubletreeGate::record(net::IPv4Address iface, int ttl) {
+  if (config_.remember_paths) {
+    if (ttl >= 1 && static_cast<std::size_t>(ttl) < chain_.size()) {
+      chain_[static_cast<std::size_t>(ttl)] = iface;
+      chain_seen_[static_cast<std::size_t>(ttl)] = true;
+    }
+  } else if (local_ != nullptr) {
+    local_->insert(local_stop_key(iface, ttl));
+  }
+  if (global_ != nullptr) {
+    const std::uint64_t key = global_stop_key(iface, target_prefix_);
+    if (config_.live_global_inserts) {
+      global_->insert(key);
+    } else {
+      pending_global_.push_back(key);
+    }
+  }
+}
+
+std::span<const net::IPv4Address> DoubletreeGate::backfill(
+    net::IPv4Address iface, int ttl) {
+  if (!config_.remember_paths) return {};
+  const auto it = memo_.find(local_stop_key(iface, ttl));
+  if (it == memo_.end()) return {};
+  return it->second;
+}
+
+}  // namespace rr::measure

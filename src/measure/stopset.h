@@ -1,0 +1,231 @@
+// Doubletree-style stop sets (Donnet et al., "Efficient Route Tracing
+// from a Single Source" — PAPERS.md): redundancy-aware probing for the
+// traceroute and TTL-limited campaigns.
+//
+// Two kinds of knowledge stop a probe before it is sent:
+//
+//  * a per-VP **local stop set** of (interface, TTL) facts — the monitor
+//    has already seen this router at this distance, so the shared tree
+//    below it has been explored by this monitor before (Doubletree's
+//    backward stopping rule);
+//  * a **global stop set** of (interface, destination /24) facts shared by
+//    every VP — some monitor has already traced from this interface to
+//    this prefix, and destination-based forwarding makes the path suffix
+//    from an interface to a prefix source-independent, so re-tracing it
+//    discovers nothing (the forward stopping rule).
+//
+// Both kinds (plus the TTL-study's path-point/reach-point facts) live in
+// the same concurrent structure, StopSet: a lock-striped open-addressing
+// hash set of 64-bit keys. Readers are lock-free (acquire loads, no
+// allocation — membership checks sit on the probing hot path); writers
+// serialize per stripe under a util::Mutex. Determinism of *visibility*
+// is the caller's job: parallel campaigns buffer their global insertions
+// and commit them in canonical VP order at round boundaries (the deferred
+// pattern the token-bucket replay established), so the set every worker
+// reads is a pure function of the probe stream, never of thread timing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/address.h"
+#include "probe/types.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace rr::measure {
+
+// ------------------------------------------------------------------ keys
+//
+// Every stop fact packs losslessly into 58 bits (tag + address material)
+// and is then passed through a bijective 64-bit mix, so distinct facts
+// are distinct keys — the set has no false positives, only the sharing
+// approximations Doubletree itself makes.
+
+/// Destination prefix used by the global stop set (the paper's campaigns
+/// probe one host per advertised prefix, so /24 is a safe refinement).
+[[nodiscard]] net::IPv4Address stopset_prefix_of(net::IPv4Address a) noexcept;
+
+/// Local stop fact: this monitor saw `iface` answer at distance `ttl`.
+[[nodiscard]] std::uint64_t local_stop_key(net::IPv4Address iface,
+                                           int ttl) noexcept;
+/// Global stop fact: some monitor traced through `iface` toward the
+/// prefix of `dest`.
+[[nodiscard]] std::uint64_t global_stop_key(net::IPv4Address iface,
+                                            net::IPv4Address dest) noexcept;
+/// TTL-study fact: a probe from this monitor toward the prefix of `dest`
+/// with initial TTL `ttl` is known to expire in the tree.
+[[nodiscard]] std::uint64_t path_point_key(net::IPv4Address dest,
+                                           int ttl) noexcept;
+/// TTL-study fact: a probe toward the prefix of `dest` with initial TTL
+/// `ttl` is known to reach the destination.
+[[nodiscard]] std::uint64_t reach_point_key(net::IPv4Address dest,
+                                            int ttl) noexcept;
+
+// ------------------------------------------------------------- StopSet
+
+/// Lock-striped concurrent hash set of stop-fact keys.
+///
+/// Fixed capacity, chosen at construction from the expected fact count:
+/// membership checks must be allocation-free and tolerate concurrent
+/// writers, which rules out rehashing under readers. A stripe that fills
+/// past its load limit stops accepting inserts (counted in overflows());
+/// saturation only costs savings, never correctness — an absent fact
+/// means the probe is sent, exactly as with stop sets disabled.
+class StopSet {
+ public:
+  static constexpr std::size_t kStripes = 64;
+
+  explicit StopSet(std::size_t expected_keys);
+
+  StopSet(const StopSet&) = delete;
+  StopSet& operator=(const StopSet&) = delete;
+
+  /// Lock-free membership: safe concurrently with insert(); sees every
+  /// key whose insert() returned before this call began. No allocation.
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept;
+
+  /// Inserts one key. Returns true when the key is new; false when it was
+  /// already present or its stripe is full.
+  bool insert(std::uint64_t key);
+
+  /// Inserts a batch (the deferred-commit path); returns how many were new.
+  std::size_t insert_all(std::span<const std::uint64_t> keys);
+
+  /// Number of keys stored (takes every stripe lock; not for hot paths).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return kStripes * stripe_capacity_;
+  }
+  /// Inserts rejected because a stripe was at its load limit.
+  [[nodiscard]] std::uint64_t overflows() const noexcept {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Stripe {
+    util::Mutex mu;
+    std::size_t size RROPT_GUARDED_BY(mu) = 0;
+  };
+
+  [[nodiscard]] std::size_t stripe_of(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(key >> 58) & (kStripes - 1);
+  }
+  [[nodiscard]] const std::atomic<std::uint64_t>* stripe_slots(
+      std::size_t s) const noexcept {
+    return slots_.get() + s * stripe_capacity_;
+  }
+  [[nodiscard]] std::atomic<std::uint64_t>* stripe_slots(
+      std::size_t s) noexcept {
+    return slots_.get() + s * stripe_capacity_;
+  }
+
+  std::size_t stripe_capacity_;  // power of two
+  std::size_t stripe_mask_;
+  std::size_t stripe_limit_;     // max keys per stripe (3/4 load)
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::unique_ptr<Stripe[]> stripes_;
+  std::atomic<std::uint64_t> overflows_{0};
+};
+
+// -------------------------------------------------------------- stats
+
+/// Uniform probing-cost counters recorded by every stop-set consumer and
+/// surfaced in bench telemetry (probes_sent / probes_saved /
+/// stopset_hit_rate).
+struct StopSetStats {
+  std::uint64_t probes_sent = 0;   // probes actually driven through the net
+  std::uint64_t probes_saved = 0;  // probes a stop fact made unnecessary
+  std::uint64_t checks = 0;        // membership queries
+  std::uint64_t hits = 0;          // queries that found a fact
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return checks ? static_cast<double>(hits) / static_cast<double>(checks)
+                  : 0.0;
+  }
+  /// Fraction of the off-run probe budget the stop sets eliminated.
+  [[nodiscard]] double reduction() const noexcept {
+    const std::uint64_t total = probes_sent + probes_saved;
+    return total ? static_cast<double>(probes_saved) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+  void merge(const StopSetStats& other) noexcept {
+    probes_sent += other.probes_sent;
+    probes_saved += other.probes_saved;
+    checks += other.checks;
+    hits += other.hits;
+  }
+};
+
+// ------------------------------------------------------ DoubletreeGate
+
+/// probe::TraceGate implementation over a local + global stop set: the
+/// policy half of Doubletree (backward/forward split from hop h), bound
+/// to one VP's probe stream.
+///
+/// Global-set *reads* are always safe; global-set *writes* depend on the
+/// execution mode:
+///  * deferred (default): discoveries accumulate in pending_global() and
+///    the campaign commits them in canonical VP order at round
+///    boundaries — bit-identical probe schedules at any thread count;
+///  * live (live_global_inserts): discoveries are inserted immediately.
+///    Only for serial callers (revtr, tools), where program order is the
+///    canonical order.
+///
+/// remember_paths additionally memoizes the hop chain below every local
+/// stop fact, so a backward stop can *backfill* the skipped hops into the
+/// trace result. Consumers that need complete paths (revtr's symmetric
+/// fallback) only stop where the gate can reproduce what probing would
+/// have found — their outputs stay byte-identical with stop sets on.
+class DoubletreeGate final : public probe::TraceGate {
+ public:
+  struct Config {
+    int first_hop = 5;        // Doubletree's h: forward from h, backward h-1..1
+    bool forward_stop = true;
+    bool backward_stop = true;
+    bool live_global_inserts = false;
+    bool remember_paths = false;
+    int max_ttl = 64;
+  };
+
+  DoubletreeGate(StopSet* local, StopSet* global, Config config);
+
+  int begin(net::IPv4Address target) override;
+  bool stop_forward(net::IPv4Address iface, int ttl) override;
+  bool stop_backward(net::IPv4Address iface, int ttl) override;
+  void record(net::IPv4Address iface, int ttl) override;
+  std::span<const net::IPv4Address> backfill(net::IPv4Address iface,
+                                             int ttl) override;
+
+  /// Deferred global-set discoveries; the campaign drains and commits
+  /// these (StopSet::insert_all) in canonical VP order.
+  [[nodiscard]] std::vector<std::uint64_t>& pending_global() noexcept {
+    return pending_global_;
+  }
+  [[nodiscard]] StopSetStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const StopSetStats& stats() const noexcept { return stats_; }
+
+  /// Finalizes the trace in flight (remember_paths memoization happens
+  /// here). begin() calls this implicitly; call it after the last trace.
+  void finish_trace();
+
+ private:
+  StopSet* local_;
+  StopSet* global_;
+  Config config_;
+  net::IPv4Address target_prefix_;
+  StopSetStats stats_;
+  std::vector<std::uint64_t> pending_global_;
+  // remember_paths state: the chain observed by the trace in flight,
+  // indexed by TTL, and the memo of complete below-chains per local fact.
+  std::vector<net::IPv4Address> chain_;
+  std::vector<bool> chain_seen_;
+  std::unordered_map<std::uint64_t, std::vector<net::IPv4Address>> memo_;
+};
+
+}  // namespace rr::measure

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "util/log.h"
 #include "util/rng.h"
@@ -18,6 +19,7 @@ const TtlStudyResult::Row* TtlStudyResult::row_for(int ttl) const noexcept {
 TtlStudyResult ttl_study(Testbed& testbed, const Campaign& campaign,
                          const TtlStudyConfig& config) {
   util::Rng rng{config.seed};
+  TtlStudyResult result;
   std::map<int, TtlStudyResult::Row> rows;
 
   std::vector<int> ttl_values;
@@ -46,6 +48,41 @@ TtlStudyResult ttl_study(Testbed& testbed, const Campaign& campaign,
     far.resize(take);
     if (take == 0) continue;
 
+    // Seed this VP's stop set with what the census proved about each
+    // sampled destination. Near (stamped at slot s, s <= 9): a TTL-t
+    // probe expires for t < s and reaches for t >= s. Far (nine slots
+    // full, so more than nine hops out): expires through TTL 9, and the
+    // census's default-TTL probe already drew its echo. Facts are exact
+    // in a noiseless world; under loss/rate-limiting they reproduce the
+    // modal outcome, trading fidelity of re-measured noise for not
+    // re-sending probes whose answer is known (the Doubletree bargain).
+    std::unique_ptr<StopSet> stops;
+    if (config.use_stop_sets) {
+      stops = std::make_unique<StopSet>(take * 64 + 1024);
+      for (const bool is_far : {false, true}) {
+        for (std::size_t d : is_far ? far : near) {
+          const auto target = campaign.topology()
+                                  .host_at(campaign.destinations()[d])
+                                  .address;
+          if (is_far) {
+            for (int t = config.ttl_min;
+                 t <= std::min(9, config.ttl_max); ++t) {
+              stops->insert(path_point_key(target, t));
+            }
+          } else {
+            const int s = campaign.at(v, d).dest_slot;
+            for (int t = config.ttl_min; t <= config.ttl_max; ++t) {
+              stops->insert(t < s ? path_point_key(target, t)
+                                  : reach_point_key(target, t));
+            }
+          }
+          if (config.include_default_ttl) {
+            stops->insert(reach_point_key(target, 64));
+          }
+        }
+      }
+    }
+
     auto prober = testbed.make_prober(campaign.vps()[v]->host, config.pps);
     for (const bool is_far : {false, true}) {
       const auto& set = is_far ? far : near;
@@ -55,23 +92,41 @@ TtlStudyResult ttl_study(Testbed& testbed, const Campaign& campaign,
         const auto target = campaign.topology()
                                 .host_at(campaign.destinations()[d])
                                 .address;
-        const auto r = prober.probe(probe::ProbeSpec::ping_rr(
-            target, static_cast<std::uint8_t>(ttl)));
         auto& row = rows[ttl];
         row.ttl = ttl;
         auto& sent = is_far ? row.far_sent : row.near_sent;
         auto& replied = is_far ? row.far_replied : row.near_replied;
         auto& expired = is_far ? row.far_expired : row.near_expired;
         ++sent;
+        if (stops != nullptr) {
+          ++result.stats.checks;
+          if (stops->contains(reach_point_key(target, ttl))) {
+            ++result.stats.hits;
+            ++result.stats.probes_saved;
+            ++replied;
+            continue;
+          }
+          ++result.stats.checks;
+          if (stops->contains(path_point_key(target, ttl))) {
+            ++result.stats.hits;
+            ++result.stats.probes_saved;
+            ++expired;
+            continue;
+          }
+        }
+        const auto r = prober.probe(probe::ProbeSpec::ping_rr(
+            target, static_cast<std::uint8_t>(ttl)));
+        ++result.stats.probes_sent;
         if (r.kind == probe::ResponseKind::kEchoReply) ++replied;
         if (r.kind == probe::ResponseKind::kTtlExceeded) ++expired;
       }
     }
   }
 
-  TtlStudyResult result;
   for (auto& [ttl, row] : rows) result.rows.push_back(row);
-  util::log_info() << "ttl study: " << result.rows.size() << " TTL buckets";
+  util::log_info() << "ttl study: " << result.rows.size() << " TTL buckets, "
+                   << result.stats.probes_sent << " probes sent, "
+                   << result.stats.probes_saved << " saved";
   return result;
 }
 

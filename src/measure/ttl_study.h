@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "measure/campaign.h"
+#include "measure/stopset.h"
 #include "measure/testbed.h"
 
 namespace rr::measure {
@@ -25,6 +26,14 @@ struct TtlStudyConfig {
   std::size_t per_vp_per_class = 400;
   double pps = 20.0;
   std::uint64_t seed = 0x771;
+  /// Redundancy-aware probing: seed a per-VP stop set (measure/stopset.h)
+  /// with the expire/reach facts the census already established — a near
+  /// destination stamped at RR slot s expires below TTL s and answers at
+  /// or above it; a far one (nine slots full) expires through TTL 9 and
+  /// answered the census's TTL-64 probe — and synthesize those outcomes
+  /// instead of re-probing. The TTL *schedule* (shuffles, TTL draws) is
+  /// identical either way; only the redundant sends are elided.
+  bool use_stop_sets = true;
 };
 
 struct TtlStudyResult {
@@ -49,6 +58,10 @@ struct TtlStudyResult {
     }
   };
   std::vector<Row> rows;  // ordered by TTL
+
+  /// Probing-cost accounting when stop sets are on (zeroed when off):
+  /// probes_saved counts synthesized outcomes, probes_sent live sends.
+  StopSetStats stats;
 
   [[nodiscard]] const Row* row_for(int ttl) const noexcept;
 };

@@ -1,5 +1,6 @@
 #include "probe/prober.h"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <utility>
@@ -247,26 +248,184 @@ void Prober::parse_response_into(const ProbeSpec& spec, std::uint16_t seq,
 
 TracerouteResult Prober::traceroute(net::IPv4Address target, int max_ttl,
                                     int attempts) {
+  TraceOptions options;
+  options.max_ttl = max_ttl;
+  options.attempts = attempts;
+  return traceroute(target, options);
+}
+
+TracerouteResult Prober::traceroute(net::IPv4Address target,
+                                    const TraceOptions& options) {
   TracerouteResult result;
   result.target = target;
-  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
-    TracerouteHop hop;
-    hop.ttl = ttl;
-    for (int attempt = 0; attempt < attempts; ++attempt) {
-      ProbeSpec spec = ProbeSpec::ping(target);
-      spec.ttl = static_cast<std::uint8_t>(ttl);
-      const ProbeResult probe_result = probe(spec);
-      if (!probe_result.responded()) continue;
-      hop.responded = true;
-      hop.address = probe_result.responder;
-      hop.kind = probe_result.kind;
-      break;
+  const int max_ttl = std::max(1, options.max_ttl);
+  const int attempts = std::max(1, options.attempts);
+  const int window = std::clamp(
+      options.window, 1, static_cast<int>(sim::WalkBatch::kMaxProbes));
+  TraceGate* const gate = options.gate;
+
+  int first = 1;
+  if (gate != nullptr) first = std::clamp(gate->begin(target), 1, max_ttl);
+  result.first_ttl = first;
+
+  // Scratch warm-up (one-time growth, then flat across traces).
+  if (static_cast<int>(trace_ctxs_.size()) < window) {
+    trace_specs_.resize(static_cast<std::size_t>(window));
+    trace_ctxs_.resize(static_cast<std::size_t>(window));
+    trace_results_.resize(static_cast<std::size_t>(window));
+  }
+  for (int k = 0; k < window; ++k) {
+    trace_ctxs_[static_cast<std::size_t>(k)].counters = sim::NetCounters{};
+  }
+  if (static_cast<int>(trace_hops_.size()) < max_ttl + 1) {
+    trace_hops_.resize(static_cast<std::size_t>(max_ttl) + 1);
+  }
+  for (int t = 0; t <= max_ttl; ++t) {
+    trace_hops_[static_cast<std::size_t>(t)] = TracerouteHop{};
+  }
+
+  std::uint64_t sent = 0;
+  int reach_ttl = 0;  // lowest TTL that drew an echo reply; 0 = none yet
+
+  // ------------------------------------------------- forward sweep
+  // TTL windows from `first` upward, each window batched through the
+  // deferred dataplane; extra attempts re-probe only unresponsive TTLs.
+  bool forward_done = false;
+  for (int base = first; base <= max_ttl && !forward_done; ) {
+    const int w = std::min(window, max_ttl - base + 1);
+    for (int round = 0; round < attempts; ++round) {
+      int n = 0;
+      for (int t = base; t < base + w; ++t) {
+        if (round > 0 && trace_hops_[static_cast<std::size_t>(t)].responded) {
+          continue;
+        }
+        ProbeSpec spec = ProbeSpec::ping(target);
+        spec.ttl = static_cast<std::uint8_t>(t);
+        trace_specs_[static_cast<std::size_t>(n)] = spec;
+        ++n;
+      }
+      if (n == 0) break;
+      probe_batch_into(
+          std::span<const ProbeSpec>{trace_specs_.data(),
+                                     static_cast<std::size_t>(n)},
+          std::span<sim::SendContext>{trace_ctxs_.data(),
+                                      static_cast<std::size_t>(n)},
+          std::span<ProbeResult>{trace_results_.data(),
+                                 static_cast<std::size_t>(n)});
+      sent += static_cast<std::uint64_t>(n);
+      for (int k = 0; k < n; ++k) {
+        const int t = trace_specs_[static_cast<std::size_t>(k)].ttl;
+        const ProbeResult& pr = trace_results_[static_cast<std::size_t>(k)];
+        if (!pr.responded()) continue;
+        TracerouteHop& hop = trace_hops_[static_cast<std::size_t>(t)];
+        hop.ttl = t;
+        hop.responded = true;
+        hop.address = pr.responder;
+        hop.kind = pr.kind;
+      }
     }
-    result.hops.push_back(hop);
-    if (hop.kind == ResponseKind::kEchoReply) {
-      result.reached = true;
-      break;
+    // Scan the window in TTL order for the event that ends the sweep.
+    for (int t = base; t < base + w; ++t) {
+      TracerouteHop& hop = trace_hops_[static_cast<std::size_t>(t)];
+      if (hop.ttl == 0) hop.ttl = t;  // probed, silent
+      if (!hop.responded) continue;
+      if (hop.kind == ResponseKind::kEchoReply) {
+        reach_ttl = t;
+        forward_done = true;
+        break;
+      }
+      if (gate != nullptr) {
+        // Stop *before* record: the stop must reflect knowledge from
+        // earlier traces, never the fact this hop is about to add (a
+        // live-insert gate would otherwise stop on its own first hop).
+        const bool stop = gate->stop_forward(hop.address, t);
+        gate->record(hop.address, t);
+        if (stop) {
+          result.forward_stop_ttl = t;
+          forward_done = true;
+          break;
+        }
+      }
     }
+    base += w;
+  }
+
+  // ------------------------------------------------ backward sweep
+  // Doubletree's second half: from first-1 down toward TTL 1, scalar
+  // (window 1) so each hop can consult the gate before the next probe.
+  if (gate != nullptr && first > 1) {
+    for (int t = first - 1; t >= 1; --t) {
+      TracerouteHop& hop = trace_hops_[static_cast<std::size_t>(t)];
+      hop.ttl = t;
+      for (int attempt = 0; attempt < attempts; ++attempt) {
+        ProbeSpec spec = ProbeSpec::ping(target);
+        spec.ttl = static_cast<std::uint8_t>(t);
+        probe_into(spec, &trace_ctxs_[0], trace_results_[0]);
+        ++sent;
+        const ProbeResult& pr = trace_results_[0];
+        if (!pr.responded()) continue;
+        hop.responded = true;
+        hop.address = pr.responder;
+        hop.kind = pr.kind;
+        break;
+      }
+      if (!hop.responded) continue;
+      if (hop.kind == ResponseKind::kEchoReply) {
+        // The destination is nearer than Doubletree's h; keep walking
+        // down to find the true distance and the path below it.
+        if (reach_ttl == 0 || t < reach_ttl) reach_ttl = t;
+        continue;
+      }
+      const bool stop = gate->stop_backward(hop.address, t);
+      gate->record(hop.address, t);
+      if (stop) {
+        result.backward_stop_ttl = t;
+        result.probes_saved += static_cast<std::uint64_t>(t - 1);
+        const auto below = gate->backfill(hop.address, t);
+        if (static_cast<int>(below.size()) >= t - 1) {
+          for (int bt = 1; bt < t; ++bt) {
+            TracerouteHop& bh = trace_hops_[static_cast<std::size_t>(bt)];
+            bh.ttl = bt;
+            bh.responded = true;
+            bh.address = below[static_cast<std::size_t>(bt - 1)];
+            bh.kind = ResponseKind::kTtlExceeded;
+            bh.from_stopset = true;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // ------------------------------------------------------ assembly
+  // Ascending TTL; trimmed at the echo (overshot window probes past the
+  // destination are dropped, like the classic engine that never sent
+  // them) or at the forward stop. probes_saved counts only the TTL slots
+  // a backward stop provably skipped — a forward stop's savings depend on
+  // the unprobed distance, so benches measure them off-vs-on instead.
+  result.probes_sent = sent;
+  int end_ttl = max_ttl;
+  if (reach_ttl > 0) {
+    result.reached = true;
+    end_ttl = reach_ttl;
+  } else if (result.forward_stop_ttl > 0) {
+    end_ttl = result.forward_stop_ttl;
+  }
+  result.hops.clear();
+  result.hops.reserve(static_cast<std::size_t>(end_ttl));
+  for (int t = 1; t <= end_ttl; ++t) {
+    const TracerouteHop& hop = trace_hops_[static_cast<std::size_t>(t)];
+    if (hop.ttl == t) result.hops.push_back(hop);
+  }
+
+  sim::NetCounters tally;
+  for (int k = 0; k < window; ++k) {
+    tally.merge(trace_ctxs_[static_cast<std::size_t>(k)].counters);
+  }
+  if (options.counters != nullptr) {
+    options.counters->merge(tally);
+  } else {
+    network_->merge_counters(tally);
   }
   return result;
 }

@@ -22,6 +22,29 @@ struct ProberOptions {
   double start_time = 0.0;     // virtual campaign start
 };
 
+/// Knobs for Prober::traceroute. The engine probes the forward sweep in
+/// TTL windows through the batched dataplane (probe_batch_into), and —
+/// when a TraceGate is installed — runs Doubletree's split: forward from
+/// hop gate->begin(), then backward toward TTL 1, stopping either sweep
+/// as soon as the gate recognizes a known interface.
+struct TraceOptions {
+  int max_ttl = 30;
+  int attempts = 2;  // probes per unresponsive TTL
+  /// Forward-sweep batch width (TTLs in flight per Network::send_batch),
+  /// clamped to [1, sim::WalkBatch::kMaxProbes]. Purely an execution
+  /// detail: outcomes per probe are unchanged, only the order probes hit
+  /// the wire within a window (they are walked batch-major).
+  int window = 4;
+  /// Redundancy-aware stopping rules; nullptr = classic full trace.
+  TraceGate* gate = nullptr;
+  /// Sink for the trace's network counters. Traces always run the
+  /// deferred (SendContext) dataplane mode; with a sink the tally is
+  /// merged there (concurrent callers: one sink per worker, merge into
+  /// the network at a serial point), without one it is folded straight
+  /// into the network totals — serial callers only.
+  sim::NetCounters* counters = nullptr;
+};
+
 class Prober {
  public:
   using Options = ProberOptions;
@@ -63,8 +86,18 @@ class Prober {
                         std::span<sim::SendContext> ctxs,
                         std::span<ProbeResult> results);
 
-  /// Classic traceroute: TTL-limited pings until the target answers or
-  /// `max_ttl` is exhausted; `attempts` tries per hop.
+  /// Traceroute: TTL-limited pings until the target answers, a stop-set
+  /// rule fires (options.gate), or the TTL budget is exhausted. Probes run
+  /// in batched windows over the deferred dataplane, so a trace's probe
+  /// outcomes are a pure function of its probe stream — identical whether
+  /// traces run serially or on concurrent threads (with per-thread
+  /// probers/counter sinks). Plain pings carry no IP options, so the
+  /// deferred mode's optimistic bucket events never occur and no replay
+  /// pass is needed.
+  [[nodiscard]] TracerouteResult traceroute(net::IPv4Address target,
+                                            const TraceOptions& options);
+
+  /// Classic convenience form: full trace from TTL 1, no stop sets.
   [[nodiscard]] TracerouteResult traceroute(net::IPv4Address target,
                                             int max_ttl = 30,
                                             int attempts = 2);
@@ -118,6 +151,13 @@ class Prober {
   // the batch width once and then stays flat.
   std::vector<std::vector<std::uint8_t>> batch_bufs_;
   std::uint64_t buffer_growths_ = 0;
+  // Traceroute scratch (specs/contexts/results for one window, plus the
+  // TTL-indexed hop buffer), reused across traces so a census performs no
+  // steady-state allocation per trace.
+  std::vector<ProbeSpec> trace_specs_;
+  std::vector<sim::SendContext> trace_ctxs_;
+  std::vector<ProbeResult> trace_results_;
+  std::vector<TracerouteHop> trace_hops_;
 };
 
 }  // namespace rr::probe

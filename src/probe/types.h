@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,17 +114,58 @@ struct TracerouteHop {
   bool responded = false;
   net::IPv4Address address;            // responder (when responded)
   ResponseKind kind = ResponseKind::kNone;
+  /// True when the hop was not probed but backfilled from a stop-set
+  /// path memo (see TraceGate::backfill) — known, not re-measured.
+  bool from_stopset = false;
+};
+
+/// Redundancy-aware probing hooks for Prober::traceroute (Doubletree stop
+/// sets — implemented by measure::DoubletreeGate; the interface lives here
+/// so probe/ stays independent of measure/). A gate-driven trace probes
+/// *forward* from hop h = begin() until the destination answers or
+/// stop_forward() recognizes an (interface, destination-prefix) fact,
+/// then *backward* from h-1 down to 1 until stop_backward() recognizes an
+/// (interface, TTL) fact this monitor has seen before.
+class TraceGate {
+ public:
+  virtual ~TraceGate() = default;
+
+  /// Starts a trace toward `target`; returns the TTL to begin forward
+  /// probing at (Doubletree's h; clamped by the caller to [1, max_ttl]).
+  virtual int begin(net::IPv4Address target) = 0;
+  /// Forward stop: the path from `iface` to the target's prefix is
+  /// already known to some monitor.
+  virtual bool stop_forward(net::IPv4Address iface, int ttl) = 0;
+  /// Backward stop: this monitor has already seen `iface` at `ttl`.
+  virtual bool stop_backward(net::IPv4Address iface, int ttl) = 0;
+  /// Every TTL-exceeded responder observed by the trace.
+  virtual void record(net::IPv4Address iface, int ttl) = 0;
+  /// Hops 1..ttl-1 below a backward stop at (`iface`, `ttl`), when the
+  /// gate memoizes paths (index i = TTL i+1); empty when unknown, in
+  /// which case the stop still holds but the hops stay unprobed.
+  virtual std::span<const net::IPv4Address> backfill(net::IPv4Address iface,
+                                                     int ttl) = 0;
 };
 
 struct TracerouteResult {
   net::IPv4Address target;
-  std::vector<TracerouteHop> hops;
+  std::vector<TracerouteHop> hops;  // ascending TTL; contiguous probed range
   bool reached = false;
+
+  /// TTL the forward sweep started at (Doubletree's h; 1 = classic).
+  int first_ttl = 1;
+  /// >0: the global stop set ended the forward sweep at this TTL.
+  int forward_stop_ttl = 0;
+  /// >0: the local stop set ended the backward sweep at this TTL.
+  int backward_stop_ttl = 0;
+  std::uint64_t probes_sent = 0;
+  /// TTL slots a stop fact excused this trace from probing.
+  std::uint64_t probes_saved = 0;
 
   /// Number of probing hops to the destination (TTL at which the echo
   /// reply arrived); -1 when the destination was not reached.
   [[nodiscard]] int hop_count() const noexcept {
-    return reached ? static_cast<int>(hops.size()) : -1;
+    return reached && !hops.empty() ? hops.back().ttl : -1;
   }
 };
 

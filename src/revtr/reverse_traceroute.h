@@ -43,6 +43,14 @@ struct RevTrConfig {
   double pps = 20.0;
   bool allow_symmetric_fallback = true;
   std::uint64_t seed = 0x4E7;
+  /// Optional redundancy-aware stopping for the symmetric-fallback
+  /// forward traceroutes (probe/types.h). Callers that batch many revtr
+  /// measurements install a path-memoizing gate (a measure::DoubletreeGate
+  /// with remember_paths, forward stops off) so repeated fallback traces
+  /// skip the shared tree near the source; the gate backfills the skipped
+  /// hops, keeping reported paths identical to full traces. Serial use
+  /// only — measure() runs one trace at a time.
+  probe::TraceGate* trace_gate = nullptr;
 };
 
 enum class HopSource : std::uint8_t {

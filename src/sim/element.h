@@ -87,6 +87,20 @@ struct NetCounters {
   std::uint64_t dropped_unroutable = 0;
   std::uint64_t ttl_errors = 0;         // Time-Exceeded returned
   std::uint64_t port_unreachables = 0;
+
+  /// Folds another tally into this one (per-worker accumulation).
+  void merge(const NetCounters& other) noexcept {
+    sent += other.sent;
+    delivered += other.delivered;
+    responses += other.responses;
+    dropped_loss += other.dropped_loss;
+    dropped_filter += other.dropped_filter;
+    dropped_rate_limit += other.dropped_rate_limit;
+    dropped_ttl += other.dropped_ttl;
+    dropped_unroutable += other.dropped_unroutable;
+    ttl_errors += other.ttl_errors;
+    port_unreachables += other.port_unreachables;
+  }
 };
 
 /// One deferred options-token consume: a policed router saw an options

@@ -62,16 +62,7 @@ void Network::reset() {
 
 void Network::merge_counters(const NetCounters& tally) {
   util::SerialGateLock gate(serial_gate_);
-  counters_.sent += tally.sent;
-  counters_.delivered += tally.delivered;
-  counters_.responses += tally.responses;
-  counters_.dropped_loss += tally.dropped_loss;
-  counters_.dropped_filter += tally.dropped_filter;
-  counters_.dropped_rate_limit += tally.dropped_rate_limit;
-  counters_.dropped_ttl += tally.dropped_ttl;
-  counters_.dropped_unroutable += tally.dropped_unroutable;
-  counters_.ttl_errors += tally.ttl_errors;
-  counters_.port_unreachables += tally.port_unreachables;
+  counters_.merge(tally);
 }
 
 bool Network::reverse_hops(HostId dst, HostId reply_to, SendContext* ctx,

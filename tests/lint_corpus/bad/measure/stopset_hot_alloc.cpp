@@ -1,0 +1,38 @@
+// bad: no-hot-alloc — a stop-set membership check that allocates on the
+// probe hot path. Membership runs once per candidate TTL of every
+// traceroute in the census; building a heap key or buffering hits there
+// is exactly what the packed-integer StopSet design exists to avoid
+// (measure/stopset.h).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rr::measure {
+
+struct SlowStopSet {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> hits;
+
+  bool contains_hot(std::uint32_t iface, int ttl) {
+    // RROPT_HOT_BEGIN(fixture-stopset)
+    auto key = std::make_unique<std::uint64_t>(  // finding: no-hot-alloc
+        (static_cast<std::uint64_t>(iface) << 8) |
+        static_cast<std::uint64_t>(ttl & 0xff));
+    for (const std::uint64_t held : keys) {
+      if (held == *key) {
+        hits.push_back(held);  // finding: no-hot-alloc (push_back)
+        return true;
+      }
+    }
+    return false;
+    // RROPT_HOT_END(fixture-stopset)
+  }
+
+  void learn(std::uint32_t iface, int ttl) {
+    // ok: insertion happens off the membership hot path
+    keys.push_back((static_cast<std::uint64_t>(iface) << 8) |
+                   static_cast<std::uint64_t>(ttl & 0xff));
+  }
+};
+
+}  // namespace rr::measure

@@ -1,0 +1,34 @@
+// good: the allocation-free stop-set membership shape (measure/stopset.h)
+// — packed integer keys probed against a fixed-capacity table of atomic
+// slots. Nothing in the hot region allocates, so no waivers are needed.
+#include <atomic>
+#include <cstdint>
+
+namespace rr::measure {
+
+struct FixtureStopSet {
+  static constexpr std::size_t kSlots = 64;
+  std::atomic<std::uint64_t> slots[kSlots];
+
+  static std::uint64_t key_of(std::uint32_t iface, int ttl) {
+    return (static_cast<std::uint64_t>(iface) << 8) |
+           static_cast<std::uint64_t>(ttl & 0xff);
+  }
+
+  bool contains(std::uint32_t iface, int ttl) const {
+    // RROPT_HOT_BEGIN(fixture-stopset)
+    const std::uint64_t key = key_of(iface, ttl);
+    std::size_t slot = key % kSlots;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      const std::uint64_t held =
+          slots[slot].load(std::memory_order_acquire);
+      if (held == key) return true;
+      if (held == 0) return false;
+      slot = (slot + 1) % kSlots;
+    }
+    return false;
+    // RROPT_HOT_END(fixture-stopset)
+  }
+};
+
+}  // namespace rr::measure

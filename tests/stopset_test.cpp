@@ -1,0 +1,339 @@
+// Doubletree stop sets (measure/stopset.h): key packing, the concurrent
+// StopSet structure, the DoubletreeGate policy, and the gated traceroute
+// engine's window invariance. Tier 1 — everything here runs on a
+// test-scale world or no world at all.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "measure/stopset.h"
+#include "measure/testbed.h"
+#include "probe/prober.h"
+#include "util/rng.h"
+
+namespace rr::measure {
+namespace {
+
+net::IPv4Address addr(std::uint32_t v) { return net::IPv4Address{v}; }
+
+// ------------------------------------------------------------------ keys
+
+TEST(StopSetKeys, DistinctFactsYieldDistinctKeys) {
+  // The 58-bit packing is lossless and the mix is bijective, so a dense
+  // grid of facts across all four kinds must produce all-distinct,
+  // never-zero keys.
+  std::unordered_set<std::uint64_t> keys;
+  std::size_t count = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto iface = addr(0x0A000001 + i);
+    // Distinct /24 per iteration: path/reach facts key on the destination
+    // *prefix*, so same-/24 destinations would (correctly) collapse.
+    const auto dest = addr(0xC0A80001 + (i << 8));
+    for (int ttl = 1; ttl <= 32; ++ttl) {
+      keys.insert(local_stop_key(iface, ttl));
+      keys.insert(path_point_key(dest, ttl));
+      keys.insert(reach_point_key(dest, ttl));
+      count += 3;
+    }
+    for (std::uint32_t p = 0; p < 16; ++p) {
+      keys.insert(global_stop_key(iface, addr(0x0B000000 + (p << 8))));
+      ++count;
+    }
+  }
+  EXPECT_EQ(keys.size(), count);
+  EXPECT_EQ(keys.count(0), 0u) << "0 is the empty-slot sentinel";
+}
+
+TEST(StopSetKeys, GlobalKeyGroupsBySlash24) {
+  const auto iface = addr(0x0B0B0B01);
+  EXPECT_EQ(stopset_prefix_of(addr(0xC0A80123)), addr(0xC0A80100));
+  EXPECT_EQ(global_stop_key(iface, addr(0xC0A80101)),
+            global_stop_key(iface, addr(0xC0A801FE)));
+  EXPECT_NE(global_stop_key(iface, addr(0xC0A80101)),
+            global_stop_key(iface, addr(0xC0A80201)));
+}
+
+// --------------------------------------------------------------- StopSet
+
+TEST(StopSet, InsertThenContains) {
+  StopSet set(1024);
+  const auto k1 = local_stop_key(addr(0x0A000001), 3);
+  const auto k2 = local_stop_key(addr(0x0A000001), 4);
+  EXPECT_FALSE(set.contains(k1));
+  EXPECT_TRUE(set.insert(k1));
+  EXPECT_TRUE(set.contains(k1));
+  EXPECT_FALSE(set.contains(k2));
+  EXPECT_FALSE(set.insert(k1)) << "duplicate insert reports not-new";
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(StopSet, InsertAllCountsOnlyNewKeys) {
+  StopSet set(1024);
+  std::vector<std::uint64_t> keys;
+  for (int t = 1; t <= 10; ++t) {
+    keys.push_back(local_stop_key(addr(0x0A0000FF), t));
+  }
+  keys.push_back(keys.front());  // one duplicate
+  EXPECT_EQ(set.insert_all(keys), 10u);
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(StopSet, SaturationRejectsWithoutFalsePositives) {
+  // A deliberately tiny set: most inserts overflow, but membership stays
+  // exact — an absent fact just means the probe is sent.
+  StopSet set(1);
+  std::vector<std::uint64_t> accepted;
+  for (std::uint64_t i = 1; i <= 50000; ++i) {
+    const std::uint64_t key = util::mix64(i);
+    if (key == 0) continue;
+    if (set.insert(key)) accepted.push_back(key);
+  }
+  EXPECT_GT(set.overflows(), 0u);
+  EXPECT_EQ(set.size(), accepted.size());
+  for (const auto key : accepted) EXPECT_TRUE(set.contains(key));
+  for (std::uint64_t i = 100001; i <= 101000; ++i) {
+    const std::uint64_t key = util::mix64(i);
+    if (key != 0) {
+      EXPECT_FALSE(set.contains(key));
+    }
+  }
+}
+
+TEST(StopSet, ConcurrentInsertersAndReaders) {
+  // The census shape: many writers on disjoint fact streams, lock-free
+  // readers racing them. Everything a writer inserted must be visible
+  // after the join, and readers must never see a torn/false key.
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kPerWriter = 4000;
+  StopSet set(kWriters * kPerWriter);
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&set, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        set.insert(util::mix64((static_cast<std::uint64_t>(w) << 32) | (i + 1)));
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&set] {
+      // Reader lane: keys from a range no writer produces — must stay
+      // absent throughout (no false positives under concurrency).
+      for (std::uint64_t i = 0; i < 20000; ++i) {
+        ASSERT_FALSE(set.contains(util::mix64(0xDEAD000000000000ULL + i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(set.overflows(), 0u);
+  std::size_t present = 0;
+  for (int w = 0; w < kWriters; ++w) {
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      present += set.contains(
+          util::mix64((static_cast<std::uint64_t>(w) << 32) | (i + 1)));
+    }
+  }
+  EXPECT_EQ(present, kWriters * kPerWriter);
+  EXPECT_EQ(set.size(), kWriters * kPerWriter);
+}
+
+// --------------------------------------------------------- DoubletreeGate
+
+TEST(DoubletreeGate, BackwardStopAfterLocalFact) {
+  StopSet local(256);
+  DoubletreeGate::Config gc;
+  gc.first_hop = 5;
+  DoubletreeGate gate(&local, nullptr, gc);
+  const auto iface = addr(0x0A010101);
+
+  EXPECT_EQ(gate.begin(addr(0xC0A80101)), 5);
+  EXPECT_FALSE(gate.stop_backward(iface, 4)) << "no fact yet";
+  gate.record(iface, 4);
+  EXPECT_TRUE(gate.stop_backward(iface, 4)) << "fact recorded this trace";
+  EXPECT_FALSE(gate.stop_backward(iface, 3)) << "TTL is part of the fact";
+  gate.finish_trace();
+  EXPECT_GT(gate.stats().checks, 0u);
+  EXPECT_GT(gate.stats().hits, 0u);
+}
+
+TEST(DoubletreeGate, ForwardStopRequiresGlobalFactForSamePrefix) {
+  StopSet local(256), global(256);
+  DoubletreeGate::Config gc;
+  gc.live_global_inserts = true;
+  DoubletreeGate gate(&local, &global, gc);
+  const auto iface = addr(0x0A010101);
+
+  gate.begin(addr(0xC0A80105));
+  EXPECT_FALSE(gate.stop_forward(iface, 6));
+  gate.record(iface, 6);  // live insert: (iface, 192.168.1.0/24) learned
+  gate.finish_trace();
+
+  gate.begin(addr(0xC0A80142));  // same /24, different host
+  EXPECT_TRUE(gate.stop_forward(iface, 7))
+      << "the forward fact is TTL-independent";
+  gate.finish_trace();
+
+  gate.begin(addr(0xC0A80242));  // different /24
+  EXPECT_FALSE(gate.stop_forward(iface, 6));
+  gate.finish_trace();
+}
+
+TEST(DoubletreeGate, DeferredModeBuffersGlobalFacts) {
+  StopSet local(256), global(256);
+  DoubletreeGate gate(&local, &global, DoubletreeGate::Config{});
+  gate.begin(addr(0xC0A80105));
+  gate.record(addr(0x0A010101), 6);
+  gate.finish_trace();
+  EXPECT_EQ(global.size(), 0u) << "nothing visible before the commit";
+  ASSERT_EQ(gate.pending_global().size(), 1u);
+  global.insert_all(gate.pending_global());
+  gate.pending_global().clear();
+  EXPECT_EQ(global.size(), 1u);
+  gate.begin(addr(0xC0A80142));
+  EXPECT_TRUE(gate.stop_forward(addr(0x0A010101), 5));
+  gate.finish_trace();
+}
+
+TEST(DoubletreeGate, RememberPathsBackfillsTheSkippedChain) {
+  StopSet local(1024);
+  DoubletreeGate::Config gc;
+  gc.first_hop = 5;
+  gc.remember_paths = true;
+  DoubletreeGate gate(&local, nullptr, gc);
+
+  // Trace one: a complete chain 1..5 observed the hard way.
+  gate.begin(addr(0xC0A80105));
+  const std::uint32_t base = 0x0A010100;
+  for (int t = 1; t <= 5; ++t) gate.record(addr(base + t), t);
+  gate.finish_trace();
+
+  // Trace two: the same hop at TTL 4 stops backward, and the memo must
+  // reproduce hops 1..3 exactly as probing would have found them.
+  gate.begin(addr(0xC0A80905));
+  EXPECT_TRUE(gate.stop_backward(addr(base + 4), 4));
+  const auto below = gate.backfill(addr(base + 4), 4);
+  ASSERT_EQ(below.size(), 3u);
+  for (int t = 1; t <= 3; ++t) {
+    EXPECT_EQ(below[static_cast<std::size_t>(t - 1)], addr(base + t));
+  }
+  gate.finish_trace();
+}
+
+TEST(DoubletreeGate, NoBackfillWithoutACompleteChain) {
+  StopSet local(1024);
+  DoubletreeGate::Config gc;
+  gc.remember_paths = true;
+  DoubletreeGate gate(&local, nullptr, gc);
+  gate.begin(addr(0xC0A80105));
+  gate.record(addr(0x0A010104), 4);  // hops 1..3 never observed
+  gate.finish_trace();
+  gate.begin(addr(0xC0A80905));
+  EXPECT_FALSE(gate.stop_backward(addr(0x0A010104), 4))
+      << "remember_paths only stops where the memo can backfill";
+  gate.finish_trace();
+}
+
+// ------------------------------------------------- gated traceroute engine
+
+measure::TestbedConfig deterministic_config() {
+  measure::TestbedConfig config;
+  config.topo_params = topo::TopologyParams::test_scale();
+  config.topo_params.seed = 4242;
+  auto& p = config.behavior_params;
+  p.host_ping_responsive = {1.0, 1.0, 1.0, 1.0};
+  p.as_dark = {0.0, 0.0, 0.0, 0.0};
+  p.router_hidden = 0.0;
+  p.router_anonymous = 0.0;
+  p.router_responds_ping = 1.0;
+  p.router_rate_limited = 0.0;
+  p.base_loss = 0.0;
+  p.options_extra_loss = 0.0;
+  return config;
+}
+
+TEST(GatedTraceroute, WindowWidthDoesNotChangeTheTrace) {
+  // In a deterministic world the windowed forward sweep must produce the
+  // same trace at any batch width — windowing only groups sends.
+  measure::Testbed testbed{deterministic_config()};
+  const auto& topology = testbed.topology();
+  const std::size_t n = std::min<std::size_t>(
+      topology.destinations().size(), 20);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto target = topology.host_at(topology.destinations()[i]).address;
+    probe::TracerouteResult reference;
+    for (int window : {1, 2, 4, 8}) {
+      auto prober = testbed.make_prober(testbed.vps().front()->host, 1000.0);
+      probe::TraceOptions options;
+      options.window = window;
+      const auto trace = prober.traceroute(target, options);
+      if (window == 1) {
+        reference = trace;
+        continue;
+      }
+      ASSERT_EQ(trace.reached, reference.reached) << target.to_string();
+      ASSERT_EQ(trace.hops.size(), reference.hops.size());
+      for (std::size_t h = 0; h < trace.hops.size(); ++h) {
+        EXPECT_EQ(trace.hops[h].ttl, reference.hops[h].ttl);
+        EXPECT_EQ(trace.hops[h].address, reference.hops[h].address);
+        EXPECT_EQ(trace.hops[h].kind, reference.hops[h].kind);
+      }
+    }
+  }
+}
+
+TEST(GatedTraceroute, SecondTraceToSamePrefixStopsEarlyAndSendsFewer) {
+  measure::Testbed testbed{deterministic_config()};
+  const auto& topology = testbed.topology();
+  auto prober = testbed.make_prober(testbed.vps().front()->host, 1000.0);
+
+  StopSet local(4096), global(4096);
+  DoubletreeGate::Config gc;
+  gc.live_global_inserts = true;  // serial caller: program order is canon
+  DoubletreeGate gate(&local, &global, gc);
+  probe::TraceOptions options;
+  options.gate = &gate;
+
+  // Find a destination the VP actually reaches beyond first_hop.
+  for (std::size_t i = 0; i < topology.destinations().size(); ++i) {
+    const auto target = topology.host_at(topology.destinations()[i]).address;
+    const auto first = prober.traceroute(target, options);
+    if (!first.reached || first.hop_count() <= gc.first_hop) continue;
+    const auto second = prober.traceroute(target, options);
+    EXPECT_LT(second.probes_sent, first.probes_sent)
+        << "redundant re-trace must cost less";
+    EXPECT_TRUE(second.forward_stop_ttl > 0 || second.backward_stop_ttl > 0)
+        << "some stop rule must have fired";
+    gate.finish_trace();
+    return;
+  }
+  GTEST_SKIP() << "no destination beyond first_hop at test scale";
+}
+
+TEST(GatedTraceroute, UngatedTraceMatchesLegacyEngine) {
+  // The TraceOptions engine with no gate is the legacy traceroute: same
+  // contiguous hop list, same reached flag.
+  measure::Testbed testbed{deterministic_config()};
+  const auto& topology = testbed.topology();
+  const std::size_t n = std::min<std::size_t>(
+      topology.destinations().size(), 10);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto target = topology.host_at(topology.destinations()[i]).address;
+    auto prober_a = testbed.make_prober(testbed.vps().front()->host, 1000.0);
+    auto prober_b = testbed.make_prober(testbed.vps().front()->host, 1000.0);
+    const auto legacy = prober_a.traceroute(target, 30, 2);
+    probe::TraceOptions options;
+    const auto fresh = prober_b.traceroute(target, options);
+    ASSERT_EQ(fresh.reached, legacy.reached);
+    ASSERT_EQ(fresh.hops.size(), legacy.hops.size());
+    for (std::size_t h = 0; h < fresh.hops.size(); ++h) {
+      EXPECT_EQ(fresh.hops[h].address, legacy.hops[h].address);
+      EXPECT_EQ(fresh.hops[h].ttl, legacy.hops[h].ttl);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rr::measure
