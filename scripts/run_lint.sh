@@ -3,17 +3,28 @@
 # job as closely as the available toolchain allows:
 #
 #   1. rropt_lint over src/        (always; builds the linter if needed)
-#   2. clang-tidy over src/        (only if clang-tidy is installed)
+#   2. rropt_verify                (with --verify; abstract interpretation
+#                                   over the compiled run tables for the
+#                                   default + paper configs)
+#   3. clang-tidy over src/        (only if clang-tidy is installed)
 #
-# The third CI check — a clang build with -Werror=thread-safety — needs a
+# The final CI check — a clang build with -Werror=thread-safety — needs a
 # clang toolchain and is easiest reproduced with:
 #   CC=clang CXX=clang++ cmake -B build-clang && cmake --build build-clang
 #
-#   scripts/run_lint.sh [build-dir]    (default: build)
+#   scripts/run_lint.sh [--verify] [build-dir]    (default: build)
 set -eu
 
 cd "$(dirname "$0")/.."
-build=${1:-build}
+
+verify=0
+build=build
+for arg in "$@"; do
+  case "$arg" in
+    --verify) verify=1 ;;
+    *) build=$arg ;;
+  esac
+done
 
 if [[ ! -d "$build" ]]; then
   cmake -B "$build" -S .
@@ -23,7 +34,15 @@ cmake --build "$build" --target rropt_lint -j "$(nproc)"
 echo "== rropt_lint src/"
 "$build"/tools/lint/rropt_lint src
 
-if command -v run-clang-tidy >/dev/null 2>&1; then
+if [[ "$verify" -eq 1 ]]; then
+  cmake --build "$build" --target rropt_verify -j "$(nproc)"
+  echo "== rropt_verify (default + paper run-table proofs)"
+  "$build"/tools/verify/rropt_verify --report "$build"/rropt_verify_report.txt
+fi
+
+if [[ "${RROPT_SKIP_CLANG_TIDY:-0}" -eq 1 ]]; then
+  echo "== clang-tidy skipped (RROPT_SKIP_CLANG_TIDY=1; CI runs it on changed files)"
+elif command -v run-clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy src/"
   run-clang-tidy -quiet -p "$build" "$(pwd)/src/.*" || exit 1
 elif command -v clang-tidy >/dev/null 2>&1; then

@@ -194,7 +194,8 @@ void Prober::parse_response_into(const ProbeSpec& spec, std::uint16_t seq,
       const auto rr = pkt::rr_wire(delivery.bytes, info->rr_offset);
       out.rr_option_in_reply = true;
       for (std::size_t i = 0; i < rr.filled; ++i) {
-        out.rr_recorded.push_back(pkt::rr_slot(delivery.bytes, rr, i));
+        out.rr_recorded.push_back(  // RROPT_HOT_OK: recycled capacity
+            pkt::rr_slot(delivery.bytes, rr, i));
       }
       out.rr_free_slots = rr.capacity - rr.filled;
     }
@@ -203,7 +204,8 @@ void Prober::parse_response_into(const ProbeSpec& spec, std::uint16_t seq,
       out.ts_option_in_reply = true;
       for (std::size_t i = 0; i < ts.filled; ++i) {
         const auto entry = pkt::ts_entry(delivery.bytes, ts, i);
-        out.ts_entries.emplace_back(entry.address, entry.timestamp_ms);
+        out.ts_entries.emplace_back(  // RROPT_HOT_OK: recycled capacity
+            entry.address, entry.timestamp_ms);
       }
       out.ts_overflow = ts.overflow;
     }
@@ -239,7 +241,8 @@ void Prober::parse_response_into(const ProbeSpec& spec, std::uint16_t seq,
     const auto rr = pkt::rr_wire(quoted, q->rr_offset);
     out.quoted_rr_present = true;
     for (std::size_t i = 0; i < rr.filled; ++i) {
-      out.quoted_rr.push_back(pkt::rr_slot(quoted, rr, i));
+      out.quoted_rr.push_back(  // RROPT_HOT_OK: recycled capacity
+          pkt::rr_slot(quoted, rr, i));
     }
     out.quoted_rr_free_slots = rr.capacity - rr.filled;
   }

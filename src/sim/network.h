@@ -271,7 +271,7 @@ class Network {
   }
 
  private:
-  enum class WalkOutcome { kDelivered, kDropped, kTtlExpired };
+  enum class WalkOutcome : std::uint8_t { kDelivered, kDropped, kTtlExpired };
 
   struct WalkResult {
     WalkOutcome outcome = WalkOutcome::kDropped;

@@ -2,6 +2,13 @@
 
 #include "routing/stitcher.h"
 
+#ifndef NDEBUG
+// Freeze-time verification: debug builds prove every run-list entry sound
+// (abstract interpretation, tools/verify) before the table is ever walked.
+// Header-only dependency on the verifier's API; rr_sim links rr_verify.
+#include "verify/verify.h"
+#endif
+
 namespace rr::sim {
 
 // The walk consumes routing/fib path spines hop by hop: each PathHop's
@@ -288,6 +295,11 @@ CompiledPipeline CompiledPipeline::compile(const topo::Topology& topology,
   pipeline.config_ = {plan != nullptr && plan->enabled(), params.base_loss,
                       params.options_extra_loss};
   pipeline.table_ = compile_run_table(pipeline.config_);
+  // Freeze-time proof: the exact table the sim will run is sound for its
+  // config (debug builds only — the tier-1 RroptVerify test and the CLI
+  // cover release trains).
+  assert(verify::run_table_sound(pipeline.table_, pipeline.config_) &&
+         "compile: run table failed abstract-interpretation verification");
   return pipeline;
 }
 
@@ -295,6 +307,8 @@ void CompiledPipeline::set_faults_enabled(bool enabled) {
   if (config_.faults_enabled == enabled) return;
   config_.faults_enabled = enabled;
   table_ = compile_run_table(config_);
+  assert(verify::run_table_sound(table_, config_) &&
+         "set_faults_enabled: recompiled run table failed verification");
 }
 
 }  // namespace rr::sim

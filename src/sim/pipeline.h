@@ -37,6 +37,7 @@
 
 #include <array>
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <span>
 
@@ -105,9 +106,27 @@ struct PipelineConfig {
   double options_extra_loss = 0.0;
 };
 
+/// Opcode capacity of a packed list. Eight steps of four bits fit the
+/// longest legal composition (fault, base loss, slow loss, storm, CoPP,
+/// one filter, TTL, stamp); the high eight nibbles stay zero so the
+/// interpreter's first-kEnd termination always holds.
+inline constexpr std::size_t kRunListCapacity = 8;
+
+/// True when `list` already holds kRunListCapacity opcodes.
+[[nodiscard]] constexpr bool run_list_full(PackedRunList list) noexcept {
+  return ((list >> (4 * (kRunListCapacity - 1))) & 0xF) != 0;
+}
+
 /// Appends one opcode to a packed list (helper for compilation & tests).
+/// Appending to a full list is a compile bug — the opcode would have been
+/// silently dropped behaviour — so it asserts in debug builds and returns
+/// the list unchanged in release builds (rropt_verify's "overflow"
+/// invariant flags the truncated compile either way).
 [[nodiscard]] constexpr PackedRunList run_list_append(PackedRunList list,
                                                       ElementOp op) noexcept {
+  assert(!run_list_full(list) &&
+         "run_list_append: packed run list already holds 8 opcodes");
+  if (run_list_full(list)) return list;
   std::size_t shift = 0;
   while (((list >> shift) & 0xF) != 0) shift += 4;
   return list | (static_cast<PackedRunList>(op) << shift);

@@ -13,7 +13,7 @@
 
 namespace rr::util {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Global minimum level; messages below it are discarded. Default: kInfo.
 void set_log_level(LogLevel level) noexcept;

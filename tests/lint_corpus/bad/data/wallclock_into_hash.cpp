@@ -1,0 +1,14 @@
+// taint: a wall-clock read flowing into the dataset content hash. data/
+// is outside the determinism subsystems (no-wallclock does not fire), but
+// frozen dataset bytes must still not depend on when the run happened —
+// the symbol-flow pass tracks the value from the clock to the sink.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t content_hash(std::uint64_t seed);
+
+std::uint64_t snapshot_digest() {
+  const auto stamp =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  return content_hash(static_cast<std::uint64_t>(stamp));
+}

@@ -1,0 +1,17 @@
+// taint: pointer-as-integer hashing. The numeric value of an object's
+// address is ASLR- and allocator-dependent, so mixing it into a hash makes
+// the result run-dependent even though every individual run "works".
+#include <cstdint>
+
+namespace rr::util {
+std::uint64_t mix64(std::uint64_t x);
+}
+
+struct Probe {
+  int ttl;
+};
+
+std::uint64_t probe_key(const Probe* probe) {
+  const auto raw = reinterpret_cast<std::uintptr_t>(probe);
+  return rr::util::mix64(raw);
+}

@@ -1,0 +1,22 @@
+// no-hot-alloc (cross-function closure): the element process() body is
+// implicitly hot and calls note_hop, a same-file helper — note_hop
+// inherits the no-allocation rule one call level deep, so its push_back
+// is a finding even though no RROPT_HOT marker surrounds it.
+#include <cstdint>
+#include <vector>
+
+struct Ctx {
+  std::uint32_t hop;
+};
+
+inline void note_hop(std::vector<std::uint32_t>& log, std::uint32_t hop) {
+  log.push_back(hop);
+}
+
+struct TraceElement {
+  std::vector<std::uint32_t> hops;
+  int process(Ctx& ctx) {
+    note_hop(hops, ctx.hop);
+    return 0;
+  }
+};

@@ -1,0 +1,16 @@
+// taint: unordered-container iteration order leaking into telemetry.
+// Each record_value call is fine in isolation; the *sequence* of calls
+// follows the map's bucket order, which varies across standard libraries
+// and hash seeds — telemetry rows would diff run to run.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+void record_value(const std::string& name, double value);
+
+void emit_counters(const std::unordered_map<std::string, double>& src) {
+  std::unordered_map<std::string, double> counters{src};
+  for (const auto& [name, value] : counters) {
+    record_value(name, value);
+  }
+}

@@ -1,0 +1,15 @@
+// Clean: a wall-clock read that flows only into a log line, never into a
+// hash / serialization / telemetry sink. data/ is outside the determinism
+// subsystems, so reading the clock is fine per se — only the flow into
+// frozen bytes is banned.
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+void log_line(const std::string& text, std::uint64_t stamp);
+
+void announce_run(const std::string& name) {
+  const auto stamp =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  log_line(name, static_cast<std::uint64_t>(stamp));
+}

@@ -1,0 +1,17 @@
+// Clean: the pointer-as-integer flow carries an explicit allow(taint)
+// waiver — the hash is debug-only and never reaches frozen bytes, which
+// the waiver comment is the reviewed record of.
+#include <cstdint>
+
+namespace rr::util {
+std::uint64_t mix64(std::uint64_t x);
+}
+
+struct Probe {
+  int ttl;
+};
+
+std::uint64_t debug_identity(const Probe* probe) {
+  const auto raw = reinterpret_cast<std::uintptr_t>(probe);
+  return rr::util::mix64(raw);  // rropt-lint: allow(taint)
+}

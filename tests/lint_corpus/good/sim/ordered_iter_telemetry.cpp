@@ -1,0 +1,18 @@
+// Clean: telemetry emitted from an *ordered* map — iteration order is the
+// key order, deterministic across runs and standard libraries. Lookups
+// into unordered containers (as opposed to iteration) are also fine.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+void record_value(const std::string& name, double value);
+
+void emit_counters(const std::map<std::string, double>& counters,
+                   const std::unordered_map<std::string, double>& extra) {
+  for (const auto& [name, value] : counters) {
+    record_value(name, value);
+  }
+  const auto it = extra.find("walks");
+  if (it != extra.end()) record_value("walks", it->second);
+}

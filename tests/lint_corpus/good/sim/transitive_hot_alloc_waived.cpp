@@ -1,0 +1,21 @@
+// Clean: the helper inherits the hot-region no-allocation rule through
+// the call closure, but its push_back line carries an RROPT_HOT_OK
+// waiver — capacity is recycled, so steady state allocates nothing.
+#include <cstdint>
+#include <vector>
+
+struct Ctx {
+  std::uint32_t hop;
+};
+
+inline void note_hop(std::vector<std::uint32_t>& log, std::uint32_t hop) {
+  log.push_back(hop);  // RROPT_HOT_OK: capacity recycled across probes
+}
+
+struct TraceElement {
+  std::vector<std::uint32_t> hops;
+  int process(Ctx& ctx) {
+    note_hop(hops, ctx.hop);
+    return 0;
+  }
+};

@@ -219,6 +219,132 @@ TEST(LintRules, AllowCommentWaivesExactRuleOnly) {
                    .empty());
 }
 
+TEST(LintRules, TaintWallclockReachingHashSink) {
+  // The clock read itself trips no-wallclock in determinism subsystems;
+  // the taint pass additionally tracks the value through two assignments
+  // into the hash sink.
+  const auto findings = lint_file(
+      "src/sim/x.cpp",
+      "std::uint64_t f() {\n"
+      "  const auto stamp = "
+      "std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "  const auto mixed = static_cast<std::uint64_t>(stamp) * 31u;\n"
+      "  return content_hash(mixed);\n"
+      "}\n");
+  EXPECT_EQ(rules_of(findings),
+            (std::set<std::string>{"no-wallclock", "taint"}));
+  // data/ has no no-wallclock rule, but frozen bytes still must not
+  // depend on the clock: only taint fires there.
+  EXPECT_EQ(rules_of(lint_file(
+                "src/data/x.cpp",
+                "std::uint64_t f() {\n"
+                "  const auto stamp = "
+                "std::chrono::system_clock::now().time_since_epoch().count();"
+                "\n"
+                "  return content_hash(static_cast<std::uint64_t>(stamp));\n"
+                "}\n")),
+            (std::set<std::string>{"taint"}));
+}
+
+TEST(LintRules, TaintUnorderedIterationOrderIntoTelemetry) {
+  const std::string unordered =
+      "void f(const std::unordered_map<std::string, double>& counters) {\n"
+      "  for (const auto& [name, value] : counters) {\n"
+      "    record_value(name, value);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(rules_of(lint_file("src/measure/x.cpp", unordered)),
+            (std::set<std::string>{"taint"}));
+  // Ordered iteration is deterministic: same shape over std::map is clean.
+  const std::string ordered =
+      "void f(const std::map<std::string, double>& counters) {\n"
+      "  for (const auto& [name, value] : counters) {\n"
+      "    record_value(name, value);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(lint_file("src/measure/x.cpp", ordered).empty());
+}
+
+TEST(LintRules, TaintPointerAsIntegerCast) {
+  // A pointer-as-integer cast fed straight into a hash sink is flagged,
+  // even with no intermediate variable.
+  EXPECT_EQ(rules_of(lint_file(
+                "src/sim/x.cpp",
+                "std::uint64_t f(const int* p) {\n"
+                "  return rr::util::mix64("
+                "reinterpret_cast<std::uintptr_t>(p));\n"
+                "}\n")),
+            (std::set<std::string>{"taint"}));
+  // The same cast whose value never reaches a sink is clean.
+  EXPECT_TRUE(lint_file("src/sim/x.cpp",
+                        "bool f(const int* p) {\n"
+                        "  const auto raw = "
+                        "reinterpret_cast<std::uintptr_t>(p);\n"
+                        "  return raw % 2 == 0;\n"
+                        "}\n")
+                  .empty());
+}
+
+TEST(LintRules, TaintScopeAndWaiver) {
+  const std::string flow =
+      "std::uint64_t f(const int* p) {\n"
+      "  const auto raw = reinterpret_cast<std::uintptr_t>(p);\n"
+      "  return rr::util::mix64(raw);\n"
+      "}\n";
+  // Outside the determinism subsystems and data/, the taint pass is off.
+  EXPECT_TRUE(lint_file("src/analysis/x.cpp", flow).empty());
+  // allow(taint) on the sink line waives the flow.
+  EXPECT_TRUE(lint_file("src/sim/x.cpp",
+                        "std::uint64_t f(const int* p) {\n"
+                        "  const auto raw = "
+                        "reinterpret_cast<std::uintptr_t>(p);\n"
+                        "  return rr::util::mix64(raw);  "
+                        "// rropt-lint: allow(taint)\n"
+                        "}\n")
+                  .empty());
+}
+
+TEST(LintRules, HotClosureReachesHelpersOneLevelDeep) {
+  // A helper called from an implicitly hot process() body inherits the
+  // no-allocation rule; the finding lands on the helper's alloc line.
+  const std::string body =
+      "inline void note_hop(std::vector<int>& log, int hop) {\n"
+      "  log.push_back(hop);\n"
+      "}\n"
+      "struct E {\n"
+      "  std::vector<int> hops;\n"
+      "  int process(Ctx& ctx) {\n"
+      "    note_hop(hops, ctx.hop);\n"
+      "    return 0;\n"
+      "  }\n"
+      "};\n";
+  const auto findings = lint_file("src/sim/x.cpp", body);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-hot-alloc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("note_hop"), std::string::npos);
+  // RROPT_HOT_OK waives the inherited rule the same way as in a marked
+  // region, and the same helper is clean when nothing hot calls it.
+  const std::string waived =
+      "inline void note_hop(std::vector<int>& log, int hop) {\n"
+      "  log.push_back(hop);  // RROPT_HOT_OK: capacity recycled\n"
+      "}\n"
+      "struct E {\n"
+      "  std::vector<int> hops;\n"
+      "  int process(Ctx& ctx) {\n"
+      "    note_hop(hops, ctx.hop);\n"
+      "    return 0;\n"
+      "  }\n"
+      "};\n";
+  EXPECT_TRUE(lint_file("src/sim/x.cpp", waived).empty());
+  EXPECT_TRUE(lint_file("src/sim/x.cpp",
+                        "inline void note_hop(std::vector<int>& log, int h) "
+                        "{\n"
+                        "  log.push_back(h);\n"
+                        "}\n")
+                  .empty());
+}
+
 TEST(LintFormat, CompilerStyle) {
   const Finding finding{"src/sim/x.cpp", 12, "no-rand", "msg"};
   EXPECT_EQ(format(finding), "src/sim/x.cpp:12: [no-rand] msg");
@@ -226,7 +352,7 @@ TEST(LintFormat, CompilerStyle) {
 
 TEST(LintRules, EveryRuleHasADescription) {
   const auto descriptions = rule_descriptions();
-  EXPECT_EQ(descriptions.size(), 8u);
+  EXPECT_EQ(descriptions.size(), 9u);
 }
 
 // --------------------------------------------------------------- corpus
@@ -243,7 +369,7 @@ std::vector<std::string> corpus_files(const std::string& subdir) {
 
 TEST(LintCorpus, EveryBadFixtureFails) {
   const auto files = corpus_files("bad");
-  ASSERT_GE(files.size(), 8u) << "bad corpus went missing";
+  ASSERT_GE(files.size(), 12u) << "bad corpus went missing";
   for (const auto& file : files) {
     const auto findings = lint_paths({file});
     EXPECT_FALSE(findings.empty()) << file << " should trip its rule";
@@ -252,7 +378,7 @@ TEST(LintCorpus, EveryBadFixtureFails) {
 
 TEST(LintCorpus, EveryGoodFixtureIsClean) {
   const auto files = corpus_files("good");
-  ASSERT_GE(files.size(), 6u) << "good corpus went missing";
+  ASSERT_GE(files.size(), 10u) << "good corpus went missing";
   for (const auto& file : files) {
     const auto findings = lint_paths({file});
     for (const auto& finding : findings) {
@@ -267,7 +393,8 @@ TEST(LintCorpus, BadCorpusCoversEveryRule) {
   const auto rules = rules_of(findings);
   for (const char* rule :
        {"no-rand", "no-wallclock", "no-unseeded-rng", "no-stream-io",
-        "no-hot-alloc", "raw-mutex", "umbrella-include", "pragma-once"}) {
+        "no-hot-alloc", "raw-mutex", "umbrella-include", "pragma-once",
+        "taint"}) {
     EXPECT_TRUE(rules.count(rule) > 0) << "no bad fixture trips " << rule;
   }
 }

@@ -247,6 +247,7 @@ struct Scope {
   bool determinism = false;  // sim/, measure/, routing/
   bool hot_io = false;       // + packet/, probe/, netbase/
   bool util = false;         // util/ may hold raw std::mutex
+  bool data = false;         // data/ freezes dataset bytes (taint sinks)
   bool header = false;       // *.h / *.hpp
   bool umbrella = false;     // the umbrella header itself
 };
@@ -264,6 +265,7 @@ Scope classify(const std::string& path) {
       scope.hot_io = true;
     }
     if (name == "util") scope.util = true;
+    if (name == "data") scope.data = true;
   }
   const std::string ext = p.extension().string();
   scope.header = ext == ".h" || ext == ".hpp";
@@ -272,6 +274,23 @@ Scope classify(const std::string& path) {
 }
 
 // ---------------------------------------------------------------- checks
+
+/// Nondeterminism-source identifier sets, shared by the per-token rules
+/// (no-rand / no-wallclock) and the taint pass (which tracks where the
+/// values *flow*).
+const std::unordered_set<std::string>& rand_idents() {
+  static const std::unordered_set<std::string> kSet{
+      "rand", "srand", "random", "drand48", "lrand48", "random_device",
+      "random_shuffle"};
+  return kSet;
+}
+const std::unordered_set<std::string>& wallclock_idents() {
+  static const std::unordered_set<std::string> kSet{
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get", "localtime",
+      "gmtime"};
+  return kSet;
+}
 
 class Checker {
  public:
@@ -342,18 +361,105 @@ class Checker {
            (i < 3 || lexed_.tokens[i - 3].text == "std");
   }
 
-  void check_tokens() {
-    // Hot-region tracking: lines strictly between a BEGIN marker line and
-    // the matching END marker line are hot.
-    bool hot = false;
-    int current_line = 0;
-    auto update_hot = [&](int line) {
-      while (current_line < line) {
-        ++current_line;
-        if (lexed_.directives.hot_end.count(current_line) > 0) hot = false;
-        if (lexed_.directives.hot_begin.count(current_line) > 0) hot = true;
+  /// One `<name>(...) ... { ... }` function *definition* found in the
+  /// file, with the body's line span and the token index range of the
+  /// whole construct (name through closing brace). Calls and declarations
+  /// (which hit ';', ',', '=' or a closing paren before any '{') are never
+  /// recorded.
+  struct FnDef {
+    std::string name;
+    int body_begin = 0;
+    int body_end = 0;
+    std::size_t first_token = 0;  // the name token
+    std::size_t last_token = 0;   // the closing '}' (or end of file)
+  };
+
+  /// Scans the token stream for function definitions — free functions,
+  /// member definitions (the name is the last identifier before the
+  /// parameter list), qualified out-of-line definitions. Control-flow
+  /// keywords that look like `name(...) {` are excluded. Between the
+  /// parameter list and a definition's '{' only qualifiers may appear
+  /// (const, noexcept(...), ref-qualifiers, a trailing return type, a
+  /// constructor's member-init list).
+  [[nodiscard]] std::vector<FnDef> collect_fn_defs() const {
+    static const std::unordered_set<std::string> kNotFnNames{
+        "if",        "for",      "while",    "switch",   "catch",
+        "do",        "else",     "return",   "sizeof",   "alignof",
+        "alignas",   "decltype", "noexcept", "constexpr", "new",
+        "delete",    "throw",    "assert",   "static_assert", "defined",
+        "co_await",  "co_return", "co_yield"};
+    std::vector<FnDef> defs;
+    const auto& toks = lexed_.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!toks[i].is_ident || kNotFnNames.count(toks[i].text) > 0 ||
+          toks[i + 1].text != "(") {
+        continue;
       }
+      std::size_t j = i + 1;
+      int depth = 0;
+      while (j < toks.size()) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) break;
+        ++j;
+      }
+      if (j >= toks.size()) break;
+      ++j;  // past the parameter list's ')'
+      bool definition = false;
+      int paren = 0;
+      for (; j < toks.size(); ++j) {
+        const std::string& t = toks[j].text;
+        if (t == "(") {
+          ++paren;
+        } else if (t == ")") {
+          if (paren == 0) break;
+          --paren;
+        } else if (paren > 0) {
+          continue;
+        } else if (t == "{") {
+          definition = true;
+          break;
+        } else if (t == ";" || t == "," || t == "=") {
+          break;
+        }
+      }
+      if (!definition) continue;
+      FnDef def;
+      def.name = toks[i].text;
+      def.first_token = i;
+      def.body_begin = toks[j].line;
+      int braces = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "{") ++braces;
+        if (toks[j].text == "}" && --braces == 0) break;
+      }
+      def.body_end = j < toks.size() ? toks[j].line : lexed_.last_line;
+      def.last_token = j < toks.size() ? j : toks.size() - 1;
+      defs.push_back(std::move(def));
+    }
+    return defs;
+  }
+
+  void check_tokens() {
+    // Hot-region line map: lines strictly between a BEGIN marker line and
+    // the matching END marker line are hot (markers live in comments, so
+    // the marker lines themselves carry no tokens).
+    std::vector<char> marker_hot(
+        static_cast<std::size_t>(lexed_.last_line) + 2, 0);
+    {
+      bool hot = false;
+      for (int l = 1; l <= lexed_.last_line; ++l) {
+        if (lexed_.directives.hot_end.count(l) > 0) hot = false;
+        if (lexed_.directives.hot_begin.count(l) > 0) hot = true;
+        marker_hot[static_cast<std::size_t>(l)] = hot ? 1 : 0;
+      }
+    }
+    const auto in_marker_hot = [&marker_hot](int line) {
+      return line >= 1 &&
+             static_cast<std::size_t>(line) < marker_hot.size() &&
+             marker_hot[static_cast<std::size_t>(line)] != 0;
     };
+
+    const std::vector<FnDef> defs = collect_fn_defs();
 
     // Dataplane element process() bodies are implicitly hot (the contract
     // of sim/element.h), and so are the batched walk kernels
@@ -361,60 +467,15 @@ class Checker {
     // same per-hop dataplane with the probe loop inverted: every such
     // body obeys the same no-allocation rule as a marker-delimited
     // RROPT_HOT region, without each function needing its own markers.
-    // This pre-pass records the body line ranges of `<name>(...) ... {
-    // ... }` *definitions* in determinism-scope files; calls and
-    // declarations (which hit ';', ',', '=' or a closing paren before any
-    // '{') are ignored. RROPT_HOT_OK waives individual lines as usual.
+    // RROPT_HOT_OK waives individual lines as usual.
     static const std::unordered_set<std::string> kImplicitHotFns{
         "process", "walk_batch_pipeline", "walk_batch_slot"};
     std::vector<std::pair<int, int>> process_bodies;
     if (scope_.determinism) {
-      const auto& toks = lexed_.tokens;
-      for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-        if (!toks[i].is_ident || kImplicitHotFns.count(toks[i].text) == 0 ||
-            toks[i + 1].text != "(") {
-          continue;
+      for (const FnDef& def : defs) {
+        if (kImplicitHotFns.count(def.name) > 0) {
+          process_bodies.emplace_back(def.body_begin, def.body_end);
         }
-        std::size_t j = i + 1;
-        int depth = 0;
-        while (j < toks.size()) {
-          if (toks[j].text == "(") ++depth;
-          if (toks[j].text == ")" && --depth == 0) break;
-          ++j;
-        }
-        if (j >= toks.size()) break;
-        ++j;  // past the parameter list's ')'
-        // Between the parameter list and a definition's '{' only
-        // qualifiers may appear (const, noexcept(...), ref-qualifiers,
-        // a trailing return type).
-        bool definition = false;
-        int paren = 0;
-        for (; j < toks.size(); ++j) {
-          const std::string& t = toks[j].text;
-          if (t == "(") {
-            ++paren;
-          } else if (t == ")") {
-            if (paren == 0) break;
-            --paren;
-          } else if (paren > 0) {
-            continue;
-          } else if (t == "{") {
-            definition = true;
-            break;
-          } else if (t == ";" || t == "," || t == "=") {
-            break;
-          }
-        }
-        if (!definition) continue;
-        const int body_begin = toks[j].line;
-        int braces = 0;
-        for (; j < toks.size(); ++j) {
-          if (toks[j].text == "{") ++braces;
-          if (toks[j].text == "}" && --braces == 0) break;
-        }
-        const int body_end =
-            j < toks.size() ? toks[j].line : lexed_.last_line;
-        process_bodies.emplace_back(body_begin, body_end);
       }
     }
     const auto in_process_body = [&](int line) {
@@ -424,13 +485,51 @@ class Checker {
       return false;
     };
 
-    static const std::unordered_set<std::string> kRandIdents{
-        "rand", "srand", "random", "drand48", "lrand48", "random_device",
-        "random_shuffle"};
-    static const std::unordered_set<std::string> kWallClockIdents{
-        "system_clock", "steady_clock", "high_resolution_clock",
-        "gettimeofday", "clock_gettime", "timespec_get", "localtime",
-        "gmtime"};
+    // Cross-function hot-region closure: a function *called* (one level,
+    // same-file user-function resolution) from inside a primary hot
+    // region — a marker-delimited region or an implicit hot body —
+    // inherits the no-hot-alloc rule. One level is deliberate: the
+    // resolution is name-based and same-file only, so deeper closure
+    // would compound the imprecision (DESIGN.md §14 records the caveat).
+    std::vector<std::pair<int, int>> closure_bodies;
+    std::vector<std::string> closure_names;
+    {
+      const auto primary_hot = [&](int line) {
+        return in_marker_hot(line) || in_process_body(line);
+      };
+      const auto& toks = lexed_.tokens;
+      for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].is_ident || toks[i + 1].text != "(" ||
+            !primary_hot(toks[i].line) || member_access_before(i)) {
+          continue;
+        }
+        for (const FnDef& def : defs) {
+          if (def.name != toks[i].text) continue;
+          if (kImplicitHotFns.count(def.name) > 0) continue;
+          // The call site must be outside the callee's own construct
+          // (otherwise this is the definition itself, or recursion).
+          if (i >= def.first_token && i <= def.last_token) continue;
+          if (primary_hot(def.body_begin)) continue;  // already hot
+          closure_bodies.emplace_back(def.body_begin, def.body_end);
+          closure_names.push_back(def.name);
+        }
+      }
+    }
+    const auto in_closure_body = [&](int line) -> const std::string* {
+      for (std::size_t k = 0; k < closure_bodies.size(); ++k) {
+        if (line >= closure_bodies[k].first &&
+            line <= closure_bodies[k].second) {
+          return &closure_names[k];
+        }
+      }
+      return nullptr;
+    };
+
+    if (scope_.determinism || scope_.data) check_taint_flow();
+
+    const std::unordered_set<std::string>& kRandIdents = rand_idents();
+    const std::unordered_set<std::string>& kWallClockIdents =
+        wallclock_idents();
     static const std::unordered_set<std::string> kEngines{
         "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
         "default_random_engine", "ranlux24", "ranlux48", "knuth_b"};
@@ -448,7 +547,6 @@ class Checker {
     for (std::size_t i = 0; i < tokens.size(); ++i) {
       const Token& tok = tokens[i];
       if (!tok.is_ident) continue;
-      update_hot(tok.line);
 
       if (scope_.determinism) {
         if (kRandIdents.count(tok.text) > 0 && !member_access_excludes(i)) {
@@ -481,15 +579,23 @@ class Checker {
                "through util/log.h");
       }
 
-      if ((hot || in_process_body(tok.line)) &&
-          kHotAlloc.count(tok.text) > 0 &&
+      if (kHotAlloc.count(tok.text) > 0 &&
           lexed_.directives.hot_ok.count(tok.line) == 0) {
-        report(tok.line, "no-hot-alloc",
-               "'" + tok.text + "' allocates inside a hot region (RROPT_HOT "
-               "markers, an element process() body, or a batched walk "
-               "kernel — those are hot by contract); preallocate, or waive "
-               "the line with "
-               "'// RROPT_HOT_OK: <why this is steady-state-free>'");
+        if (in_marker_hot(tok.line) || in_process_body(tok.line)) {
+          report(tok.line, "no-hot-alloc",
+                 "'" + tok.text + "' allocates inside a hot region "
+                 "(RROPT_HOT markers, an element process() body, or a "
+                 "batched walk kernel — those are hot by contract); "
+                 "preallocate, or waive the line with "
+                 "'// RROPT_HOT_OK: <why this is steady-state-free>'");
+        } else if (const std::string* caller = in_closure_body(tok.line)) {
+          report(tok.line, "no-hot-alloc",
+                 "'" + tok.text + "' allocates inside '" + *caller +
+                 "', which is called from a hot region and inherits its "
+                 "no-allocation rule (cross-function closure, one level); "
+                 "preallocate, or waive the line with "
+                 "'// RROPT_HOT_OK: <why this is steady-state-free>'");
+        }
       }
 
       if (!scope_.util && kMutexTypes.count(tok.text) > 0 &&
@@ -498,6 +604,223 @@ class Checker {
                "raw std::" + tok.text + " outside util/; use util::Mutex "
                "(util/mutex.h) so the thread-safety analysis sees the "
                "locks");
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ taint v2
+  //
+  // File-scope symbol-flow pass (rule "taint"): identifiers assigned from
+  // banned nondeterminism sources — wall-clock reads, process-global RNG,
+  // pointer-as-integer casts — or bound by range-for iteration over an
+  // unordered container are *tainted*; a tainted value (or a direct
+  // source) reaching a hash / serialization / telemetry sink is reported.
+  // Runs in the determinism subsystems plus data/ (where dataset bytes
+  // freeze). Deliberately modest by design: one forward pass (no
+  // fixpoint), same-file resolution, single-identifier tracking — the
+  // soundness caveats live in DESIGN.md §14. Waive a provably
+  // order-insensitive flow with `// rropt-lint: allow(taint)` on the sink
+  // line.
+  void check_taint_flow() {
+    static const std::unordered_set<std::string> kUnorderedContainers{
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    static const std::unordered_set<std::string> kTaintSinks{
+        "content_hash", "serialize", "save",         "mix64",
+        "splitmix64",   "hash_str",  "fnv_fold",     "record_value",
+        "record_phase", "note_telemetry"};
+    static const std::unordered_set<std::string> kPtrIntTypes{
+        "uintptr_t", "intptr_t", "size_t", "uint64_t", "uint32_t",
+        "int64_t",   "int32_t",  "unsigned", "long",   "int"};
+    const auto& toks = lexed_.tokens;
+
+    // Same-file declarations of unordered containers: `unordered_map<...>
+    // name`. A member declared in another header does not resolve here —
+    // iteration over it goes unseen (documented caveat).
+    std::unordered_set<std::string> unordered_names;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].is_ident ||
+          kUnorderedContainers.count(toks[i].text) == 0) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") {
+        int depth = 1;
+        ++j;
+        while (j < toks.size() && depth > 0) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">") --depth;
+          ++j;
+        }
+      }
+      // Skip ref/cv qualifiers so reference parameters resolve too:
+      // `const unordered_map<...>& name`.
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].is_ident) {
+        unordered_names.insert(toks[j].text);
+      }
+    }
+
+    std::unordered_map<std::string, std::string> tainted;  // ident -> origin
+
+    // A direct nondeterminism source at token j ("" when none).
+    const auto source_at = [&](std::size_t j) -> std::string {
+      const Token& t = toks[j];
+      if (!t.is_ident) return {};
+      if (wallclock_idents().count(t.text) > 0) {
+        return "wall-clock '" + t.text + "'";
+      }
+      if (t.text == "time" && call_follows(j) &&
+          !member_access_excludes(j)) {
+        return "wall-clock 'time(...)'";
+      }
+      if (rand_idents().count(t.text) > 0 && !member_access_excludes(j)) {
+        return "process-global RNG '" + t.text + "'";
+      }
+      if (t.text == "uintptr_t" || t.text == "intptr_t") {
+        return "pointer-width integer '" + t.text + "'";
+      }
+      if (t.text == "reinterpret_cast" && j + 1 < toks.size() &&
+          toks[j + 1].text == "<") {
+        // reinterpret_cast to an *integer* type is pointer-as-integer
+        // hashing fuel (ASLR makes the value run-dependent); casts whose
+        // target mentions '*' or '&' are pointer/reference reshapes.
+        bool integer = false;
+        bool pointer = false;
+        int depth = 1;
+        for (std::size_t k = j + 2; k < toks.size() && depth > 0; ++k) {
+          if (toks[k].text == "<") ++depth;
+          else if (toks[k].text == ">") --depth;
+          else if (toks[k].text == "*" || toks[k].text == "&") {
+            pointer = true;
+          } else if (toks[k].is_ident &&
+                     kPtrIntTypes.count(toks[k].text) > 0) {
+            integer = true;
+          }
+        }
+        if (integer && !pointer) return "pointer-as-integer cast";
+      }
+      return {};
+    };
+
+    // First taint origin found in [begin, end) — a direct source or a
+    // tainted identifier ("" when clean).
+    const auto taint_in_range = [&](std::size_t begin,
+                                    std::size_t end) -> std::string {
+      for (std::size_t k = begin; k < end && k < toks.size(); ++k) {
+        if (!toks[k].is_ident) continue;
+        if (!member_access_before(k)) {
+          const auto it = tainted.find(toks[k].text);
+          if (it != tainted.end()) {
+            return it->second + " (via '" + toks[k].text + "')";
+          }
+        }
+        const std::string src = source_at(k);
+        if (!src.empty()) return src;
+      }
+      return {};
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& tok = toks[i];
+      if (!tok.is_ident) continue;
+
+      // Range-for over an unordered container: the binding order of the
+      // loop variables is the container's (seed/ASLR-dependent) bucket
+      // order, so the variables are tainted.
+      if (tok.text == "for" && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        std::size_t colon = 0;
+        std::size_t close = 0;
+        int depth = 0;
+        for (std::size_t k = i + 1; k < toks.size(); ++k) {
+          const std::string& t = toks[k].text;
+          if (t == "(") {
+            ++depth;
+          } else if (t == ")") {
+            if (--depth == 0) {
+              close = k;
+              break;
+            }
+          } else if (t == ";" && depth == 1) {
+            break;  // classic three-clause for
+          } else if (t == ":" && depth == 1 && colon == 0 &&
+                     toks[k - 1].text != ":" &&
+                     (k + 1 >= toks.size() || toks[k + 1].text != ":")) {
+            colon = k;
+          }
+        }
+        if (colon != 0 && close != 0) {
+          std::string container;
+          for (std::size_t k = colon + 1; k < close; ++k) {
+            if (toks[k].is_ident &&
+                unordered_names.count(toks[k].text) > 0) {
+              container = toks[k].text;
+              break;
+            }
+          }
+          if (!container.empty()) {
+            // The declared loop variables sit just before ',', ']' (a
+            // structured binding) or the ':' itself.
+            for (std::size_t k = i + 2; k + 1 <= colon; ++k) {
+              if (!toks[k].is_ident) continue;
+              const std::string& next = toks[k + 1].text;
+              if (next == "," || next == "]" || next == ":") {
+                tainted[toks[k].text] =
+                    "iteration order of unordered container '" + container +
+                    "'";
+              }
+            }
+          }
+        }
+      }
+
+      // Assignment / compound assignment / initialization: `x = rhs;`,
+      // `x ^= rhs;`. `==` lexes as two '=' tokens and is excluded; `<=`
+      // `>=` `!=` never start with '='.
+      if (i + 1 < toks.size()) {
+        const std::string& n1 = toks[i + 1].text;
+        const std::string n2 = i + 2 < toks.size() ? toks[i + 2].text : "";
+        std::size_t rhs_begin = 0;
+        if (n1 == "=" && n2 != "=") {
+          rhs_begin = i + 2;
+        } else if ((n1 == "+" || n1 == "-" || n1 == "*" || n1 == "/" ||
+                    n1 == "%" || n1 == "&" || n1 == "|" || n1 == "^") &&
+                   n2 == "=") {
+          rhs_begin = i + 3;
+        }
+        if (rhs_begin != 0) {
+          std::size_t end = rhs_begin;
+          while (end < toks.size() && toks[end].text != ";") ++end;
+          const std::string origin = taint_in_range(rhs_begin, end);
+          if (!origin.empty()) tainted[tok.text] = origin;
+        }
+      }
+
+      // Sink: a tainted value (or a direct source) in the arguments of a
+      // hash / serialization / telemetry call.
+      if (kTaintSinks.count(tok.text) > 0 && call_follows(i)) {
+        std::size_t close = toks.size();
+        int depth = 0;
+        for (std::size_t k = i + 1; k < toks.size(); ++k) {
+          if (toks[k].text == "(") ++depth;
+          if (toks[k].text == ")" && --depth == 0) {
+            close = k;
+            break;
+          }
+        }
+        const std::string origin = taint_in_range(i + 2, close);
+        if (!origin.empty()) {
+          report(tok.line, "taint",
+                 "value tainted by " + origin + " reaches determinism "
+                 "sink '" + tok.text + "'; frozen dataset / telemetry "
+                 "bytes must not depend on nondeterminism sources (waive "
+                 "a provably order-insensitive flow with '// rropt-lint: "
+                 "allow(taint)')");
+        }
       }
     }
   }
@@ -620,6 +943,10 @@ std::vector<std::string> rule_descriptions() {
       "umbrella-include — \"rropt.h\" must not be included from inside "
       "the library (include cycle)",
       "pragma-once — every header must carry #pragma once",
+      "taint — values flowing from nondeterminism sources (wall-clock, "
+      "process-global RNG, pointer-as-integer casts, unordered-container "
+      "iteration order) must not reach hash/serialization/telemetry sinks "
+      "in sim/, measure/, routing/, data/",
   };
 }
 

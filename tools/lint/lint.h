@@ -34,6 +34,20 @@
 //                                           construction
 //   pragma-once       headers               every .h starts its include
 //                                           story with #pragma once
+//   taint             sim|measure|routing|  file-scope symbol-flow pass:
+//                     data                  identifiers assigned from
+//                                           nondeterminism sources (wall-
+//                                           clock, process-global RNG,
+//                                           pointer-as-integer casts,
+//                                           unordered-container iteration
+//                                           order via range-for) must not
+//                                           reach hash / serialization /
+//                                           telemetry sinks (content_hash,
+//                                           serialize, save, mix64, ...)
+//
+// v2 also closes no-hot-alloc over one level of calls: a function called
+// from inside an RROPT_HOT region or an element process() body (same-file
+// name resolution) inherits the no-allocation rule.
 //
 // Any single finding can be waived with a same-line comment
 // `// rropt-lint: allow(<rule>)`; hot-region allocations use

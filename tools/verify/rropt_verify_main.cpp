@@ -1,0 +1,99 @@
+// rropt_verify CLI: prove every compiled RunTable entry sound.
+//
+//   rropt_verify [--report FILE] [--verbose] [--sweep]
+//
+// Verifies the tables compile_run_table emits for the configs the repo
+// actually runs — the default BehaviorParams losses (quick and paper-scale
+// census share them; the paper scale changes topology, not behaviour), the
+// faults-enabled variant the differential suites install, and a zero-loss
+// config (maximal elision). --sweep adds the full on/off combination
+// lattice. Exit status 0 iff every entry of every table proves sound; the
+// report (stdout, or FILE with --report) is uploaded as a CI artifact.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/behavior.h"
+#include "sim/pipeline.h"
+#include "verify/verify.h"
+
+namespace {
+
+struct NamedConfig {
+  const char* name;
+  rr::sim::PipelineConfig config;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  bool verbose = false;
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else {
+      std::cerr << "usage: rropt_verify [--report FILE] [--verbose]"
+                   " [--sweep]\n";
+      return 2;
+    }
+  }
+
+  const rr::sim::BehaviorParams defaults{};
+  std::vector<NamedConfig> configs{
+      {"default (quick census)",
+       {false, defaults.base_loss, defaults.options_extra_loss}},
+      {"paper-scale census",
+       {false, defaults.base_loss, defaults.options_extra_loss}},
+      {"faults enabled (differential suites)",
+       {true, defaults.base_loss, defaults.options_extra_loss}},
+      {"zero-loss (maximal elision)", {false, 0.0, 0.0}},
+  };
+  if (sweep) {
+    for (int faults = 0; faults < 2; ++faults) {
+      for (int base = 0; base < 2; ++base) {
+        for (int extra = 0; extra < 2; ++extra) {
+          configs.push_back({"sweep",
+                             {faults != 0, base != 0 ? 0.01 : 0.0,
+                              extra != 0 ? 0.01 : 0.0}});
+        }
+      }
+    }
+  }
+
+  std::string out;
+  std::size_t total_violations = 0;
+  for (const NamedConfig& nc : configs) {
+    const rr::sim::RunTable table = rr::sim::compile_run_table(nc.config);
+    const rr::verify::TableReport report =
+        rr::verify::verify_run_table(table, nc.config);
+    out += "== ";
+    out += nc.name;
+    out += " ==\n";
+    out += rr::verify::format_report(report, verbose);
+    out += "\n";
+    total_violations += report.violations.size();
+  }
+  out += total_violations == 0
+             ? "RESULT: all run-table entries proved sound\n"
+             : "RESULT: VIOLATIONS FOUND (" +
+                   std::to_string(total_violations) + ")\n";
+
+  if (!report_path.empty()) {
+    std::ofstream file{report_path};
+    if (!file) {
+      std::cerr << "rropt_verify: cannot open " << report_path << "\n";
+      return 2;
+    }
+    file << out;
+  }
+  std::cout << out;
+  return total_violations == 0 ? 0 : 1;
+}
